@@ -1,0 +1,52 @@
+"""Ablation benches for AWG's design choices (see DESIGN.md §5)."""
+
+from repro.experiments import PAPER_SCALE
+from repro.experiments.ablations import (
+    monitor_log_capacity, resume_prediction, stall_prediction,
+    syncmon_capacity,
+)
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+                          iterations=2, episodes=4)
+
+
+def test_ablation_syncmon_capacity(benchmark):
+    result = run_once(benchmark, lambda: syncmon_capacity(SCEN))
+    emit("ablation_syncmon", result)
+    rows = list(result.data.values())
+    # shrinking the cache forces spills but never breaks progress, and
+    # the fully-provisioned cache spills nothing
+    assert rows[0]["spills"] == 0
+    assert rows[-1]["spills"] > 0
+    assert rows[-1]["normalized"] >= 1.0
+
+
+def test_ablation_monitor_log_capacity(benchmark):
+    result = run_once(benchmark, lambda: monitor_log_capacity(SCEN))
+    emit("ablation_log", result)
+    rows = list(result.data.values())
+    # a starved log forces Mesa busy-retries; progress is still made
+    assert rows[-1]["log-full retries"] > 0
+
+
+def test_ablation_resume_prediction(benchmark):
+    result = run_once(benchmark, lambda: resume_prediction(SCEN))
+    emit("ablation_resume", result)
+    # the predictor tracks the better fixed policy on both extremes
+    for row in result.data.values():
+        assert row["AWG vs best fixed"] <= 1.15
+    # and the fixed policies genuinely disagree across the two workloads
+    assert result.data["SPM_G"]["MonNR-One"] < result.data["SPM_G"]["MonNR-All"]
+    assert result.data["TB_LG"]["MonNR-All"] < result.data["TB_LG"]["MonNR-One"]
+
+
+def test_ablation_stall_prediction(benchmark):
+    result = run_once(benchmark, stall_prediction)
+    emit("ablation_stall", result)
+    # stalling before switching avoids context switches on every workload
+    # under standing oversubscription, and never loses overall
+    for name, row in result.data.items():
+        assert row["stall saves switches"] > 0, name
+        assert row["AWG"] <= row["AWG-NoStall"] * 1.05, name

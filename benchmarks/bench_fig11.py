@@ -1,0 +1,25 @@
+"""Regenerate Figure 11 (WG execution break-down: running vs waiting)."""
+
+from repro.experiments import PAPER_SCALE, fig11
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+                          iterations=2, episodes=4)
+
+
+def total(row, policy):
+    return row[f"{policy} running"] + row[f"{policy} waiting"]
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, lambda: fig11.run(SCEN))
+    emit("fig11", result)
+    # MonNR-One handles contended spin mutexes well...
+    assert total(result.data["SPM_G"], "MonNR-One") < \
+        total(result.data["SPM_G"], "MonNR-All")
+    # ...but is poor on centralized barriers, where MonNR-All shines
+    assert total(result.data["TB_LG"], "MonNR-All") < \
+        total(result.data["TB_LG"], "MonNR-One")
+    # both monitor policies beat Timeout on the decentralized mutexes
+    assert total(result.data["SLM_G"], "MonNR-All") < 1.0

@@ -1,0 +1,21 @@
+"""Regenerate Figure 13 (CP scheduling data-structure sizes)."""
+
+from repro.experiments import OVERSUBSCRIBED, fig13
+
+from conftest import emit, run_once
+
+SCEN = OVERSUBSCRIBED.scaled(iterations=3, episodes=8,
+                             resource_loss_at_us=10.0)
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, lambda: fig13.run(SCEN))
+    emit("fig13", result)
+    for name, row in result.data.items():
+        assert row["Waiting WGs"] > 0, name
+        # all CP structures stay tiny (the paper's point: KBs, not MBs,
+        # with contexts dominating)
+        assert row["Waiting Conditions"] < 64
+    switched = sum(1 for row in result.data.values()
+                   if row["Saved Contexts"] > 0)
+    assert switched >= len(result.data) // 2

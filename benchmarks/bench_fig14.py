@@ -1,0 +1,25 @@
+"""Regenerate Figure 14 — the headline: speedup over busy-waiting,
+non-oversubscribed. Paper: AWG 12x geomean; our model reproduces the
+ordering and the order of magnitude on centralized primitives."""
+
+from repro.experiments import PAPER_SCALE, fig14
+
+from conftest import emit, run_once
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, lambda: fig14.run(PAPER_SCALE))
+    emit("fig14", result)
+    gm = result.data[fig14.GEOMEAN_ROW]
+    # AWG wins the geomean, by a lot
+    assert gm["AWG"] > 3.0
+    assert gm["AWG"] >= max(v for k, v in gm.items() if v is not None) * 0.999
+    # the largest wins are the centralized global mutexes (paper: ~100x)
+    assert result.data["SPM_G"]["AWG"] > 10.0
+    assert result.data["FAM_G"]["AWG"] > 10.0
+    # AWG tracks the better of MonNR-All / MonNR-One everywhere
+    for name, row in result.data.items():
+        if name == fig14.GEOMEAN_ROW:
+            continue
+        best_fixed = max(row["MonNR-All"], row["MonNR-One"])
+        assert row["AWG"] >= 0.85 * best_fixed, name

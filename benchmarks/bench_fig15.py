@@ -1,0 +1,22 @@
+"""Regenerate Figure 15 — oversubscribed speedup over Timeout, with the
+resource-loss event. Paper: Baseline deadlocks everywhere; AWG 2.5x
+geomean over Timeout."""
+
+from repro.experiments import OVERSUBSCRIBED, fig15
+
+from conftest import emit, run_once
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, lambda: fig15.run(OVERSUBSCRIBED))
+    emit("fig15", result)
+    rows = [n for n in result.data if n != fig15.GEOMEAN_ROW]
+    # Baseline cannot survive losing resources mid-kernel: every run
+    # deadlocks (current GPUs cannot restore context-switched WGs)
+    assert all(result.data[n]["Baseline"] == fig15.DEADLOCK for n in rows)
+    # every monitor-based policy and Timeout complete everywhere
+    for n in rows:
+        for policy in ("Timeout-20k", "MonNR-All", "MonNR-One", "AWG"):
+            assert result.data[n][policy] != fig15.DEADLOCK, (n, policy)
+    # AWG clearly beats the fixed-interval Timeout (paper: 2.5x geomean)
+    assert result.data[fig15.GEOMEAN_ROW]["AWG"] > 2.0

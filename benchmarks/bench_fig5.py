@@ -1,0 +1,12 @@
+"""Regenerate Figure 5 (WG context sizes, 2-10 KB)."""
+
+from repro.experiments import PAPER_SCALE, fig5
+
+from conftest import emit, run_once
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, lambda: fig5.run(PAPER_SCALE))
+    emit("fig5", result)
+    sizes = [row["context KB"] for row in result.data.values()]
+    assert 1.5 <= min(sizes) and max(sizes) <= 10.5  # the paper's band

@@ -1,0 +1,24 @@
+"""Regenerate Figure 7 (exponential backoff sleep sweep)."""
+
+from repro.experiments import PAPER_SCALE, fig7
+from repro.experiments.report import geomean
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+                          iterations=2, episodes=4)
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, lambda: fig7.run(SCEN))
+    emit("fig7", result)
+    # backoff helps the contended spin mutex...
+    assert result.data["SPM_G"]["Sleep-16k"] < 1.0
+    # ...but no single interval is best across primitives
+    labels = [c for c in result.columns if c.startswith("Sleep")]
+    best = {name: min(labels, key=lambda c: row[c])
+            for name, row in result.data.items()}
+    assert len(set(best.values())) > 1
+    # over-sleeping eventually becomes counterproductive somewhere
+    assert any(row["Sleep-256k"] > row["Sleep-1k"]
+               for row in result.data.values())

@@ -1,0 +1,23 @@
+"""Regenerate Figure 8 (timeout interval sweep)."""
+
+from repro.experiments import PAPER_SCALE, fig8
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+                          iterations=2, episodes=4)
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, lambda: fig8.run(SCEN))
+    emit("fig8", result)
+    labels = [c for c in result.columns if c.startswith("Timeout")]
+    # some timeout configurations are worse than busy-waiting (the
+    # paper's motivation for monitoring hardware)
+    worst = max(row[c] for row in result.data.values() for c in labels)
+    assert worst > 1.0
+    # and no interval suits every primitive: the same interval is a big
+    # win on one benchmark and a big loss on another
+    t10k = [row["Timeout-10k"] for row in result.data.values()]
+    assert min(t10k) < 1.0 < max(t10k)
+    assert max(t10k) / min(t10k) > 5.0

@@ -1,0 +1,26 @@
+"""Regenerate Figure 9 (wait efficiency vs the MinResume oracle)."""
+
+from repro.experiments import PAPER_SCALE, fig9
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+                          iterations=2, episodes=4)
+
+CENTRALIZED = ["SPM_G", "FAM_G"]
+DECENTRALIZED = ["SLM_G", "SLM_L", "LFTB_LG", "LFTBEX_LG"]
+
+
+def test_fig9(benchmark):
+    result = run_once(benchmark, lambda: fig9.run(SCEN))
+    emit("fig9", result)
+    # sporadic notification is dramatically inefficient on centralized
+    # primitives (paper: up to two orders of magnitude)
+    for name in CENTRALIZED:
+        assert result.data[name]["MonRS-All"] > 3.0, name
+        assert result.data[name]["MonRS-All"] >= \
+            result.data[name]["MonNR-All"] * 0.9, name
+    # decentralized primitives are unaffected (~1x)
+    for name in DECENTRALIZED:
+        for policy in ("MonRS-All", "MonR-All", "MonNR-All"):
+            assert result.data[name][policy] < 2.5, (name, policy)

@@ -1,0 +1,12 @@
+"""Regenerate Table 1 (baseline GPU model)."""
+
+from repro.experiments import table1
+
+from conftest import emit, run_once
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    emit("table1", result)
+    assert result.data["Compute Units"]["value"] == "8"
+    assert "512 KB" in result.data["L2 cache shared"]["value"]

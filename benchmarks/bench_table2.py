@@ -1,0 +1,20 @@
+"""Regenerate Table 2 (benchmark characterization, measured)."""
+
+from repro.experiments import PAPER_SCALE, table2
+
+from conftest import emit, run_once
+
+SCEN = PAPER_SCALE.scaled(iterations=2, episodes=4)
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, lambda: table2.run(SCEN))
+    emit("table2", result)
+    # centralized spin mutex: one variable, whole grid contends
+    assert result.data["SPM_G"]["# sync vars (meas)"] == 1
+    # decentralized primitives spread across many variables
+    assert result.data["SLM_G"]["# sync vars (meas)"] > \
+        result.data["SPM_G"]["# sync vars (meas)"]
+    # centralized barrier conditions gather many waiters; decentralized one
+    assert result.data["TB_LG"]["waiters/cond (meas)"] > \
+        result.data["LFTB_LG"]["waiters/cond (meas)"]

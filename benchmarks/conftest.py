@@ -1,0 +1,26 @@
+"""Benchmark harness support.
+
+Each ``bench_*`` file regenerates one table/figure of the paper at a
+meaningful scale, times it with pytest-benchmark (one round — these are
+simulations, not microbenchmarks), asserts the paper's qualitative shape,
+and writes the rendered table to ``benchmarks/results/<name>.txt`` so the
+regenerated rows survive pytest's output capture.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, result) -> None:
+    """Persist a rendered experiment table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

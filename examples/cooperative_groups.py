@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cooperative groups vs AWG's dynamic resource allocation (§II.D).
+
+Cooperative groups (CUDA 9) make inter-WG synchronization safe by
+*static resource assignment*: a cooperative kernel waits until the whole
+grid can be resident at once. The paper's complaints, demonstrated here:
+
+1. a grid larger than the machine can never launch at all, while AWG
+   virtualizes execution resources and runs it fine;
+2. when the GPU is busy, the cooperative launch waits for the whole
+   machine to free up, while AWG starts with whatever is available.
+"""
+
+from repro import GPU, GPUConfig, awg
+from repro.errors import DeviceError
+from repro.gpu.cooperative import launch_cooperative
+from repro.gpu.kernel import Kernel
+from repro.sync.barrier import AtomicTreeBarrier
+
+
+def barrier_kernel(gpu, wgs, group, episodes=3):
+    barrier = AtomicTreeBarrier(gpu, wgs, group)
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute(300)
+            yield from barrier.arrive(ctx, ctx.grid_index, ep)
+
+    return Kernel(name="coop-demo", body=body, grid_wgs=wgs)
+
+
+def main() -> None:
+    # 1. Oversized grid: cooperative refuses; AWG completes.
+    config = GPUConfig(num_cus=2, max_wgs_per_cu=2)  # capacity: 4 WGs
+    gpu = GPU(config, awg())
+    big = barrier_kernel(gpu, wgs=12, group=4)
+    print("grid of 12 barrier-synchronized WGs on a 4-WG machine:")
+    try:
+        launch_cooperative(gpu, big)
+    except DeviceError as exc:
+        print(f"  cooperative groups: REFUSED ({exc})")
+    gpu = GPU(config, awg())
+    gpu.launch(barrier_kernel(gpu, wgs=12, group=4))
+    out = gpu.run()
+    print(f"  AWG dynamic:        completed in {out.cycles:,} cycles with "
+          f"{out.context_switches} context switches\n")
+
+    # 2. Busy machine: cooperative waits; AWG starts now.
+    print("launching a 4-WG kernel while 3 of 4 slots run other work:")
+    gpu = GPU(config, awg())
+
+    def busy(ctx):
+        yield from ctx.compute(40_000)
+
+    gpu.launch(Kernel(name="busy", body=busy, grid_wgs=3))
+    gpu.env.run(until=100)
+    handle = launch_cooperative(gpu, barrier_kernel(gpu, 4, 2))
+    gpu.run()
+    us = handle.scheduling_delay / 2000.0
+    print(f"  cooperative groups: waited {handle.scheduling_delay:,} cycles "
+          f"({us:.0f} us) for the whole grid's resources")
+
+    gpu = GPU(config, awg())
+    gpu.launch(Kernel(name="busy", body=busy, grid_wgs=3))
+    gpu.env.run(until=100)
+    gpu.launch(barrier_kernel(gpu, 4, 2))
+    out = gpu.run()
+    print("  AWG dynamic:        first WG started immediately on the free "
+          f"slot (kernel done at {out.cycles:,} cycles)")
+
+
+if __name__ == "__main__":
+    main()

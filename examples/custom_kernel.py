@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Writing your own kernels against the device API.
+
+Kernels are Python generators: every device operation is performed with
+``yield from ctx.<op>(...)``. This example builds two small applications
+from the paper's Table 2 caption — a mutex-protected hash table and a
+bank-account transfer workload — runs them under the busy-wait Baseline
+and AWG, and validates their final memory state exactly (bucket
+occupancies; conservation of money).
+"""
+
+from repro import GPU, GPUConfig, awg, baseline
+from repro.workloads import build_bank_account_kernel, build_hash_table_kernel
+
+
+def run(policy, build, **kwargs):
+    config = GPUConfig(num_cus=4, max_wgs_per_cu=6, deadlock_window=200_000)
+    gpu = GPU(config, policy)
+    kernel = build(gpu, total_wgs=24, **kwargs)
+    gpu.launch(kernel)
+    outcome = gpu.run()
+    if outcome.ok:
+        kernel.args["validate"](gpu)
+    return gpu, kernel, outcome
+
+
+def main() -> None:
+    print("24-WG application kernels on a 4-CU GPU, Baseline vs AWG\n")
+    for label, build, kwargs in (
+        ("hash table (per-bucket spin locks)", build_hash_table_kernel,
+         {"buckets": 8, "inserts_per_wg": 4}),
+        ("bank accounts (two-lock transfers)", build_bank_account_kernel,
+         {"accounts": 8, "transfers_per_wg": 4}),
+    ):
+        print(label)
+        for policy in (baseline(), awg()):
+            gpu, kernel, out = run(policy, build, **kwargs)
+            if out.ok:
+                print(f"  {policy.name:>9s}: completed in {out.cycles:,} cycles, "
+                      f"{out.stats['device.atomics']:,.0f} atomics")
+            else:
+                print(f"  {policy.name:>9s}: {('DEADLOCK (' + out.reason + ')')}")
+        print()
+
+    # Show the final state of one run, to prove the data structures are
+    # exact under AWG's Mesa-semantics waiting.
+    gpu, kernel, _ = run(awg(), build_hash_table_kernel, buckets=8,
+                         inserts_per_wg=4)
+    counts = [gpu.store.read(a) for a in kernel.args["counts"]]
+    print("hash-table bucket occupancy under AWG:", counts,
+          f"(total {sum(counts)} = 24 WGs x 4 inserts)")
+
+
+if __name__ == "__main__":
+    main()

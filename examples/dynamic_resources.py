@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Dynamic resource allocation (the paper's Figure 2 scenario).
+
+A kernel with inter-WG synchronization is running when the kernel-level
+scheduler takes one CU away (a higher-priority kernel arrives), then
+returns it later. Under AWG the kernel keeps making progress with fewer
+resources — the evicted WGs' waiting conditions are tracked by the CP,
+WGs cooperatively share the remaining CUs, and the returned CU is used
+again. A baseline GPU has no machinery to restore a context-switched WG
+at all, so the same resource loss kills the kernel even though the CU
+eventually comes back (the paper's Figure 15: every Baseline run
+deadlocks).
+"""
+
+from repro import GPU, GPUConfig, awg, baseline
+from repro.gpu.preemption import ResourceLossEvent, ResourceRestoreEvent
+from repro.workloads import build_benchmark
+
+
+def run(policy, lose_at_us=25.0, restore_at_us=150.0):
+    config = GPUConfig(max_wgs_per_cu=16, deadlock_window=300_000)
+    gpu = GPU(config, policy)
+    kernel = build_benchmark("FAM_G", gpu, total_wgs=128, wgs_per_group=16,
+                             iterations=4)
+    ResourceLossEvent(at_us=lose_at_us, cu_id=7).schedule(gpu)
+    ResourceRestoreEvent(at_us=restore_at_us, cu_id=7).schedule(gpu)
+    gpu.launch(kernel)
+    outcome = gpu.run()
+    if outcome.ok:
+        kernel.args["validate"](gpu)
+    return outcome
+
+
+def main() -> None:
+    print("FAM_G (centralized ticket lock), 128 WGs; CU 7 is taken away at "
+          "25 us and returned at 150 us\n")
+    for policy in (baseline(), awg()):
+        out = run(policy)
+        if out.ok:
+            print(f"{policy.name:>9s}: completed in {out.cycles:,} cycles with "
+                  f"{out.context_switches} WG context switches")
+        else:
+            print(f"{policy.name:>9s}: DEADLOCK — the GPU has no way to "
+                  "restore the evicted WGs, and residents spin on them")
+    print("\nAWG decouples kernel-level preemption from WG scheduling: the "
+          "kernel survives losing (and regaining) a CU mid-run.")
+
+
+if __name__ == "__main__":
+    main()

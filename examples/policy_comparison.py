@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Compare every scheduling policy of the paper on one benchmark.
+
+    python examples/policy_comparison.py [BENCHMARK] [--oversubscribed]
+
+Prints runtime, dynamic atomic count, context switches and the WG
+running/waiting breakdown for all nine policies (Figure 6's family).
+"""
+
+import sys
+
+from repro import (
+    GPU, GPUConfig, ResourceLossEvent,
+    awg, baseline, minresume, monnr_all, monnr_one, monr_all, monrs_all,
+    sleep, timeout,
+)
+from repro.workloads import build_benchmark
+
+ALL_POLICIES = [
+    baseline(), sleep(16_000), timeout(20_000),
+    monrs_all(), monr_all(), monnr_all(), monnr_one(),
+    minresume(), awg(),
+]
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    name = args[0] if args else "FAM_G"
+    oversubscribed = "--oversubscribed" in sys.argv
+    mode = "oversubscribed (1 CU lost at 25 us)" if oversubscribed else \
+        "non-oversubscribed"
+    print(f"benchmark: {name}, {mode}\n")
+    header = (f"{'policy':>10s} {'cycles':>12s} {'atomics':>9s} "
+              f"{'ctx-switches':>12s} {'waiting %':>9s}")
+    print(header)
+    print("-" * len(header))
+    for policy in ALL_POLICIES:
+        gpu = GPU(GPUConfig(max_wgs_per_cu=16, deadlock_window=300_000), policy)
+        kernel = build_benchmark(name, gpu, total_wgs=128, wgs_per_group=16,
+                                 iterations=3)
+        if oversubscribed:
+            ResourceLossEvent(at_us=25).schedule(gpu)
+        gpu.launch(kernel)
+        out = gpu.run()
+        if not out.ok:
+            print(f"{policy.name:>10s} {'DEADLOCK':>12s}")
+            continue
+        kernel.args["validate"](gpu)
+        total = max(1, out.wg_running_cycles + out.wg_waiting_cycles)
+        print(f"{policy.name:>10s} {out.cycles:>12,} "
+              f"{out.stats['device.atomics']:>9,.0f} "
+              f"{out.context_switches:>12,} "
+              f"{100.0 * out.wg_waiting_cycles / total:>8.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Independent forward progress with an oversubscribed grid.
+
+This is the paper's motivating scenario (§II.D and Figure 2): a consumer
+WG that is resident waits for a producer WG that *cannot be scheduled*
+because the grid oversubscribes the GPU. Busy-waiting deadlocks — the
+consumers never release their compute-unit slots, so the producers never
+run. AWG's waiting atomics let the consumers yield their resources, the
+producers run, and everyone finishes.
+
+We build a tiny GPU (2 CUs x 2 WGs) and launch a 16-WG pipeline where
+WG i consumes the value produced by WG i+1 — the youngest, *undispatched*
+WGs are the first producers, the worst case for residency.
+"""
+
+from repro import GPU, GPUConfig, awg, baseline
+from repro.gpu.kernel import Kernel
+
+
+def make_pipeline_kernel(gpu: GPU, total_wgs: int) -> Kernel:
+    """WG i waits for flags[i+1] (produced by WG i+1), then sets flags[i].
+
+    The last WG produces unconditionally, so the dependency chain runs
+    from the youngest WG back to WG 0."""
+    flags = gpu.alloc_sync_vars(total_wgs + 1)
+
+    def body(ctx):
+        i = ctx.wg_id
+        yield from ctx.compute(200)
+        if i < total_wgs - 1:
+            # Consume: wait until our producer has published.
+            yield from ctx.wait_for_value(flags[i + 1], expected=1)
+        yield from ctx.compute(100)
+        # Produce for our consumer.
+        yield from ctx.atomic_store(flags[i], 1)
+        ctx.progress("produced")
+
+    return Kernel(name="pipeline", body=body, grid_wgs=total_wgs,
+                  args={"flags": flags})
+
+
+def run(policy, total_wgs: int = 16):
+    config = GPUConfig(
+        num_cus=2,
+        max_wgs_per_cu=2,  # only 4 WGs resident: heavily oversubscribed
+        deadlock_window=200_000,
+    )
+    gpu = GPU(config, policy)
+    kernel = make_pipeline_kernel(gpu, total_wgs)
+    gpu.launch(kernel)
+    outcome = gpu.run()
+    return gpu, kernel, outcome
+
+
+def main() -> None:
+    print("16-WG dependency pipeline on a 2-CU GPU that can hold only "
+          "4 resident WGs\n")
+    for policy in (baseline(), awg()):
+        gpu, kernel, outcome = run(policy)
+        if outcome.ok:
+            flags = kernel.args["flags"]
+            produced = sum(gpu.store.read(a) for a in flags)
+            print(f"{policy.name:>9s}: completed in {outcome.cycles:,} cycles "
+                  f"({produced} values produced, "
+                  f"{outcome.context_switches} context switches)")
+        else:
+            print(f"{policy.name:>9s}: DEADLOCK detected ({outcome.reason}) "
+                  f"after {outcome.cycles:,} cycles — resident consumers "
+                  "busy-wait forever while producers can never be dispatched")
+    print("\nThis is why current GPUs cannot guarantee inter-WG forward "
+          "progress, and what AWG fixes.")
+
+
+if __name__ == "__main__":
+    main()

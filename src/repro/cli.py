@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    awg-repro list                  # available experiments / benchmarks
+    awg-repro table1                # print Table 1
+    awg-repro fig14                 # regenerate Figure 14 (headline)
+    awg-repro fig14 --quick         # small-scale smoke version
+    awg-repro run SPM_G awg         # one benchmark under one policy
+    awg-repro all                   # every experiment, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.core.policies import named_policy
+from repro.experiments import (
+    QUICK_SCALE, PAPER_SCALE, OVERSUBSCRIBED, run_benchmark,
+)
+from repro.experiments import (
+    fig5, fig7, fig8, fig9, fig11, fig13, fig14, fig15, table1, table2,
+)
+from repro.workloads.registry import benchmark_names
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": lambda scenario: table1.run(),
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig11": fig11.run,
+    "fig13": lambda scenario: fig13.run(
+        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED
+    ),
+    "fig14": fig14.run,
+    "fig15": lambda scenario: fig15.run(
+        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED
+    ),
+}
+
+
+def _run_ablations(quick: bool) -> None:
+    from repro.experiments import ablations
+
+    scenario = QUICK_SCALE if quick else PAPER_SCALE.scaled(
+        total_wgs=64, wgs_per_group=8, max_wgs_per_cu=8,
+        iterations=2, episodes=4)
+    for fn in (ablations.syncmon_capacity, ablations.monitor_log_capacity,
+               ablations.resume_prediction):
+        print(fn(scenario).render())
+        print()
+    print(ablations.stall_prediction().render())
+
+
+def _run_timeline() -> None:
+    from repro.core.policies import awg, monnr_all, monnr_one, timeout
+    from repro.experiments.timeline import render_timeline, trace_run
+
+    for policy in (timeout(20_000), monnr_all(), monnr_one(), awg()):
+        gpu, outcome = trace_run(policy)
+        status = "completed" if outcome.ok else f"DEADLOCK ({outcome.reason})"
+        print(f"=== {policy.name} — {status} in {outcome.cycles:,} cycles ===")
+        print(render_timeline(gpu, width=90))
+        print()
+
+
+def _run_experiment(name: str, quick: bool, chart: bool = False) -> None:
+    scenario = QUICK_SCALE if quick else PAPER_SCALE
+    if quick and name in ("fig13", "fig15"):
+        scenario = OVERSUBSCRIBED.scaled(
+            total_wgs=32, wgs_per_group=4, max_wgs_per_cu=4,
+            iterations=3, episodes=6, resource_loss_at_us=10.0,
+            label="quick-oversubscribed",
+        )
+    started = time.time()
+    result = EXPERIMENTS[name](scenario)
+    if chart:
+        from repro.experiments.charts import LOG_SCALE_EXPERIMENTS, bar_chart
+        print(bar_chart(result, log=name in LOG_SCALE_EXPERIMENTS))
+    else:
+        print(result.render())
+    print(f"[{name}: {time.time() - started:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="awg-repro",
+        description="Reproduce 'Independent Forward Progress of "
+                    "Work-groups' (ISCA 2020)",
+    )
+    parser.add_argument(
+        "command",
+        help="experiment id (table1, table2, fig5..fig15), 'list', "
+             "'all', or 'run'",
+    )
+    parser.add_argument("args", nargs="*", help="for 'run': BENCHMARK POLICY")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-scale smoke configuration")
+    parser.add_argument("--chart", action="store_true",
+                        help="render figures as ASCII bar charts")
+    parser.add_argument("--oversubscribed", action="store_true",
+                        help="for 'run': inject the resource-loss event")
+    opts = parser.parse_args(argv)
+
+    if opts.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("extras:      ablations, timeline")
+        print("benchmarks: ", ", ".join(benchmark_names()))
+        print("policies:    baseline, sleep, timeout, monrs-all, "
+              "monr-all, monnr-all, monnr-one, awg, minresume")
+        return 0
+
+    if opts.command == "all":
+        for name in EXPERIMENTS:
+            _run_experiment(name, opts.quick, opts.chart)
+        return 0
+
+    if opts.command == "ablations":
+        _run_ablations(opts.quick)
+        return 0
+
+    if opts.command == "timeline":
+        _run_timeline()
+        return 0
+
+    if opts.command == "run":
+        if len(opts.args) != 2:
+            parser.error("run needs BENCHMARK and POLICY")
+        bench, policy_name = opts.args
+        scenario = OVERSUBSCRIBED if opts.oversubscribed else PAPER_SCALE
+        if opts.quick:
+            scenario = QUICK_SCALE
+        res = run_benchmark(bench, named_policy(policy_name), scenario)
+        status = "completed" if res.ok else f"DEADLOCK ({res.reason})"
+        print(f"{bench} under {res.policy} [{scenario.label}]: {status}")
+        print(f"  cycles:           {res.cycles:,}")
+        print(f"  atomics:          {res.atomics:,}")
+        print(f"  context switches: {res.context_switches:,}")
+        print(f"  WG running/waiting cycles: "
+              f"{res.wg_running_cycles:,} / {res.wg_waiting_cycles:,}")
+        return 0 if res.ok else 1
+
+    if opts.command in EXPERIMENTS:
+        _run_experiment(opts.command, opts.quick, opts.chart)
+        return 0
+
+    parser.error(f"unknown command {opts.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: Autonomous Work-Groups (AWG).
+
+This package implements the SyncMon (§V.A-B), the Monitor Log
+virtualization interface, the counting-Bloom-filter resume predictor, the
+stall-time predictor, and the whole family of cooperative WG scheduling
+policies evaluated in the paper (§IV, Figure 6):
+
+Baseline, Sleep, Timeout, MonRS-All, MonR-All, MonNR-All, MonNR-One,
+AWG, and the MinResume oracle used as the wait-efficiency normalizer.
+"""
+
+from repro.core.bloom import CountingBloomFilter
+from repro.core.conditions import WaitCondition, WaitDirective
+from repro.core.hashing import UniversalHash, condition_set_index
+from repro.core.monitor_log import MonitorLog
+from repro.core.policies import (
+    NotifyMode,
+    PolicySpec,
+    ResumeMode,
+    WaitMechanism,
+    awg,
+    baseline,
+    minresume,
+    monnr_all,
+    monnr_one,
+    monr_all,
+    monrs_all,
+    named_policy,
+    sleep,
+    timeout,
+)
+from repro.core.predictor import ResumePredictor, StallTimePredictor
+from repro.core.syncmon import RegisterOutcome, SyncMon
+
+__all__ = [
+    "CountingBloomFilter",
+    "MonitorLog",
+    "NotifyMode",
+    "PolicySpec",
+    "RegisterOutcome",
+    "ResumeMode",
+    "ResumePredictor",
+    "StallTimePredictor",
+    "SyncMon",
+    "UniversalHash",
+    "WaitCondition",
+    "WaitDirective",
+    "WaitMechanism",
+    "awg",
+    "baseline",
+    "condition_set_index",
+    "minresume",
+    "monnr_all",
+    "monnr_one",
+    "monr_all",
+    "monrs_all",
+    "named_policy",
+    "sleep",
+    "timeout",
+]

@@ -1,0 +1,55 @@
+"""Waiting conditions and wait directives.
+
+A *waiting condition* is the (synchronization variable address, expected
+value) pair formed when a waiting atomic fails its comparison (§IV.D).
+The SyncMon monitors conditions; the WG associated with a failed waiting
+atomic waits until the condition is met (Mesa semantics: met is a hint,
+the WG re-checks on resume).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mem.backing import wrap32
+
+
+class WaitDirective(enum.Enum):
+    """What the L2/SyncMon tells the CU to do with a waiting WG (§V.B ❹)."""
+
+    #: comparison succeeded — keep executing
+    PROCEED = "proceed"
+    #: wait while holding CU resources
+    STALL = "stall"
+    #: yield CU resources (kernel oversubscribes the GPU)
+    SWITCH = "switch"
+    #: Monitor Log full: do not enter waiting state, busy-retry (Mesa)
+    RETRY = "retry"
+
+
+@dataclass(frozen=True)
+class WaitCondition:
+    """An (address, expected value) condition a WG waits on.
+
+    ``exclusive`` is a program-knowledge hint consumed only by the
+    MinResume oracle: True means the condition is *consumed* by the first
+    waiter that passes (a mutex acquire), so the minimal resume count per
+    met event is one; False means the met condition releases every waiter
+    (a barrier). Hardware policies never see this hint — AWG has to
+    *predict* it with its Bloom filters.
+    """
+
+    addr: int
+    expected: int
+    exclusive: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expected", wrap32(self.expected))
+
+    def met_by(self, value: int) -> bool:
+        """Does a write of ``value`` to our address satisfy the condition?"""
+        return wrap32(value) == self.expected
+
+    def __str__(self) -> str:
+        return f"[{self.addr:#x}]=={self.expected}"

@@ -1,0 +1,51 @@
+"""Carter–Wegman universal hashing and the SyncMon condition hash.
+
+The SyncMon condition cache indexes conditions by hashing the monitored
+address and the waiting value together (§V.C): the address is shifted
+left by log2(number of cache sets) after dropping the cache-line offset
+bits, bitwise ORed with the waiting value, and the result is passed
+through a universal hash function [Carter & Wegman 1979].
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStream
+
+#: A Mersenne prime comfortably larger than any 2*32-bit key.
+_PRIME = (1 << 89) - 1
+
+
+class UniversalHash:
+    """h(x) = ((a*x + b) mod p) mod m with random odd a, random b."""
+
+    def __init__(self, buckets: int, rng: RngStream) -> None:
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self.buckets = buckets
+        self._a = rng.randint(1, _PRIME - 1) | 1
+        self._b = rng.randint(0, _PRIME - 1)
+
+    def __call__(self, key: int) -> int:
+        return ((self._a * key + self._b) % _PRIME) % self.buckets
+
+
+def condition_key(addr: int, value: int, block_bytes: int, num_sets: int) -> int:
+    """Combine address and waiting value into one key (§V.C recipe)."""
+    line = addr // block_bytes
+    return (line << max(1, num_sets.bit_length() - 1)) | (value & 0xFFFFFFFF)
+
+
+def condition_set_index(
+    addr: int,
+    value: int,
+    block_bytes: int,
+    num_sets: int,
+    hasher: UniversalHash,
+) -> int:
+    """SyncMon condition-cache set index for an (addr, value) condition."""
+    return hasher(condition_key(addr, value, block_bytes, num_sets))
+
+
+def hash_family(count: int, buckets: int, rng: RngStream) -> list:
+    """A family of ``count`` independent universal hash functions."""
+    return [UniversalHash(buckets, rng.child(f"h{i}")) for i in range(count)]

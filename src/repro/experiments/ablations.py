@@ -1,0 +1,160 @@
+"""Ablation studies for AWG's design choices (DESIGN.md §5).
+
+Four sweeps over the knobs the paper argues about:
+
+- ``syncmon_capacity`` — shrink the condition cache until conditions
+  spill to the Monitor Log: the virtualization interface must preserve
+  correctness at any capacity, trading performance (§V.A).
+- ``monitor_log_capacity`` — shrink the log until waiting atomics fail
+  with Mesa busy-retries (§V.A's "log full" path).
+- ``resume_prediction`` — AWG vs its fixed-resume ancestors on the two
+  workloads that disagree (contended mutex vs centralized barrier): the
+  predictor must match the better of MonNR-All / MonNR-One on both.
+- ``stall_prediction`` — AWG with and without the predicted stall period
+  in the oversubscribed scenario: stalling first avoids context-switch
+  thrash on short waits, but can hurt latency-sensitive barriers (the
+  paper's Figure 15 caveat).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies import awg, monnr_all, monnr_one
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    OVERSUBSCRIBED, PAPER_SCALE, Scenario, run_benchmark,
+)
+
+
+def syncmon_capacity(
+    scenario: Scenario = PAPER_SCALE,
+    benchmark: str = "FAM_G",
+    set_counts: Optional[List[int]] = None,
+) -> ExperimentResult:
+    """Condition-cache capacity sweep (4-way, so capacity = 4 x sets)."""
+    set_counts = set_counts or [256, 16, 4, 1]
+    result = ExperimentResult(
+        title=f"Ablation: SyncMon condition-cache capacity ({benchmark})",
+        columns=["conditions", "cycles", "normalized", "spills",
+                 "log peak", "cp resumes"],
+        row_label="config",
+    )
+    base_cycles = None
+    for sets in set_counts:
+        res = run_benchmark(
+            benchmark, awg(), scenario, keep_gpu=True,
+            config_overrides={"syncmon_sets": sets},
+        )
+        assert res.ok, f"virtualization must preserve progress (sets={sets})"
+        if base_cycles is None:
+            base_cycles = res.cycles
+        sm = res.gpu.syncmon
+        result.add_row(
+            f"{sets} sets",
+            conditions=sets * 4,
+            cycles=res.cycles,
+            normalized=res.cycles / base_cycles,
+            spills=sm.spills,
+            **{"log peak": res.gpu.monitor_log.peak_occupancy,
+               "cp resumes": res.gpu.cp.spilled_resumes},
+        )
+    return result
+
+
+def monitor_log_capacity(
+    scenario: Scenario = PAPER_SCALE,
+    benchmark: str = "SLM_G",
+    capacities: Optional[List[int]] = None,
+) -> ExperimentResult:
+    """Monitor Log capacity sweep with a tiny SyncMon (everything spills)."""
+    capacities = capacities or [1024, 64, 8, 2]
+    result = ExperimentResult(
+        title=f"Ablation: Monitor Log capacity ({benchmark}, 4-condition "
+              "SyncMon so the log carries the load)",
+        columns=["cycles", "normalized", "log-full retries"],
+        row_label="entries",
+    )
+    base_cycles = None
+    for cap in capacities:
+        res = run_benchmark(
+            benchmark, awg(), scenario, keep_gpu=True,
+            config_overrides={
+                "syncmon_sets": 1,
+                "monitor_log_entries": cap,
+                "cp_check_interval": 1_000,
+            },
+        )
+        assert res.ok, f"Mesa busy-retry must preserve progress (cap={cap})"
+        if base_cycles is None:
+            base_cycles = res.cycles
+        result.add_row(
+            str(cap),
+            cycles=res.cycles,
+            normalized=res.cycles / base_cycles,
+            **{"log-full retries": res.gpu.syncmon.log_full_events},
+        )
+    return result
+
+
+def resume_prediction(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
+    """The predictor must match resume-One on mutexes and resume-All on
+    barriers — the whole point of AWG over MonNR-* (§IV.E)."""
+    result = ExperimentResult(
+        title="Ablation: resume-count prediction (cycles)",
+        columns=["MonNR-All", "MonNR-One", "AWG", "AWG vs best fixed"],
+    )
+    for benchmark in ("SPM_G", "TB_LG"):
+        cycles = {}
+        for policy in (monnr_all(), monnr_one(), awg()):
+            cycles[policy.name] = run_benchmark(benchmark, policy,
+                                                scenario).cycles
+        best_fixed = min(cycles["MonNR-All"], cycles["MonNR-One"])
+        result.add_row(
+            benchmark,
+            **{
+                "MonNR-All": cycles["MonNR-All"],
+                "MonNR-One": cycles["MonNR-One"],
+                "AWG": cycles["AWG"],
+                "AWG vs best fixed": cycles["AWG"] / best_fixed,
+            },
+        )
+    return result
+
+
+#: standing oversubscription: the grid is twice the machine's residency,
+#: so every wait episode gets the switch-or-stall choice
+STANDING_OVERSUB = PAPER_SCALE.scaled(
+    total_wgs=64, wgs_per_group=8, max_wgs_per_cu=4, iterations=2,
+    episodes=4, label="standing-oversubscription",
+)
+
+
+def stall_prediction(scenario: Scenario = STANDING_OVERSUB) -> ExperimentResult:
+    """AWG with and without the predicted stall-before-switch.
+
+    With a standing oversubscription (grid larger than residency),
+    switching immediately on every failed wait thrashes the context-
+    switch path; stalling for the predicted period first lets short
+    waits resolve in place (§IV.B)."""
+    with_stall = awg()
+    no_stall = awg().with_overrides(name="AWG-NoStall", predict_stall=False)
+    result = ExperimentResult(
+        title="Ablation: predicted stall period before context switching "
+              f"({scenario.label})",
+        columns=["AWG", "AWG-NoStall", "stall saves switches"],
+    )
+    for benchmark in ("SPM_G", "FAM_G", "TB_LG", "LFTB_LG"):
+        runs = {p.name: run_benchmark(benchmark, p, scenario)
+                for p in (with_stall, no_stall)}
+        result.add_row(
+            benchmark,
+            **{
+                "AWG": runs["AWG"].cycles,
+                "AWG-NoStall": runs["AWG-NoStall"].cycles,
+                "stall saves switches":
+                    runs["AWG-NoStall"].context_switches
+                    - runs["AWG"].context_switches,
+            },
+        )
+    return result

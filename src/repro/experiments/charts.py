@@ -1,0 +1,73 @@
+"""ASCII bar-chart rendering of experiment results.
+
+The paper's evaluation figures are grouped bar charts (often log-scale).
+``bar_chart`` renders an :class:`~repro.experiments.report.ExperimentResult`
+the same way, so ``python -m repro fig14 --chart`` visually resembles
+Figure 14 in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.experiments.report import ExperimentResult
+
+
+def _scale(value: float, vmax: float, width: int, log: bool,
+           vmin: float) -> int:
+    if value <= 0:
+        return 0
+    if log:
+        lo = math.log10(max(vmin, 1e-9))
+        hi = math.log10(max(vmax, vmin * 10))
+        if hi <= lo:
+            return width
+        frac = (math.log10(value) - lo) / (hi - lo)
+    else:
+        frac = value / vmax
+    return max(1, min(width, round(frac * width)))
+
+
+def bar_chart(
+    result: ExperimentResult,
+    columns: Optional[List[str]] = None,
+    width: int = 50,
+    log: bool = False,
+    digits: int = 2,
+) -> str:
+    """Render selected numeric columns as grouped horizontal bars."""
+    columns = columns or result.columns
+    values = [
+        v for row in result.data.values()
+        for c in columns
+        if isinstance(v := row.get(c), (int, float)) and v > 0
+    ]
+    if not values:
+        return result.render()
+    vmax = max(values)
+    vmin = min(values)
+    label_w = max(len(c) for c in columns)
+    lines = [f"== {result.title} =="]
+    if log:
+        lines.append(f"(log scale, {vmin:.2g} .. {vmax:.2g})")
+    for row_name, row in result.data.items():
+        lines.append(row_name)
+        for col in columns:
+            value = row.get(col)
+            if isinstance(value, (int, float)):
+                bar = "#" * _scale(value, vmax, width, log, vmin)
+                lines.append(
+                    f"  {col.ljust(label_w)} |{bar.ljust(width)}| "
+                    f"{value:.{digits}f}"
+                )
+            else:
+                shown = "-" if value is None else str(value)
+                lines.append(f"  {col.ljust(label_w)} |{shown.ljust(width)}|")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+#: figures the paper draws with a logarithmic y-axis
+LOG_SCALE_EXPERIMENTS = {"fig9", "fig14"}

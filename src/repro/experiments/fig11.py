@@ -1,0 +1,57 @@
+"""Figure 11: WG execution-time break-down (running vs waiting).
+
+For Timeout, MonNR-All and MonNR-One, the total per-WG cycles spent
+running vs waiting on synchronization, normalized to Timeout's total.
+The paper's shape: MonNR-One wins on contended mutexes (spin mutexes),
+MonNR-All on barriers, and both beat Timeout by shrinking the waiting
+component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies import monnr_all, monnr_one, timeout
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.workloads.registry import benchmark_names
+
+#: the paper's Figure 11 covers the 10 Table 2 benchmarks (no SPMBO)
+def fig11_benchmarks() -> List[str]:
+    return [n for n in benchmark_names() if not n.startswith("SPMBO")]
+
+
+def run(
+    scenario: Scenario = PAPER_SCALE,
+    benchmarks: Optional[List[str]] = None,
+) -> ExperimentResult:
+    benchmarks = benchmarks or fig11_benchmarks()
+    policies = [timeout(20_000), monnr_all(), monnr_one()]
+    cols = []
+    for p in policies:
+        cols += [f"{p.name} running", f"{p.name} waiting"]
+    result = ExperimentResult(
+        title="Figure 11: WG execution break-down, normalized to Timeout "
+              "(running + waiting cycles summed over WGs)",
+        columns=cols,
+    )
+    for name in benchmarks:
+        runs = {p.name: run_benchmark(name, p, scenario) for p in policies}
+        denom = max(
+            1, runs["Timeout-20k"].wg_running_cycles
+            + runs["Timeout-20k"].wg_waiting_cycles
+        )
+        values = {}
+        for p in policies:
+            values[f"{p.name} running"] = runs[p.name].wg_running_cycles / denom
+            values[f"{p.name} waiting"] = runs[p.name].wg_waiting_cycles / denom
+        result.add_row(name, **values)
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render(digits=3))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Figure 13: size of the CP's WG-scheduling data structures.
+
+Per benchmark, the peak bytes the Command Processor needs for waiting
+conditions, monitored addresses, waiting WGs, and the monitor table,
+measured under AWG in the oversubscribed scenario (which exercises the
+context-switching and spill paths). The paper additionally reports
+0.74-3.11 MB of CP memory for saved WG contexts; we report our model's
+equivalent.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import awg
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import OVERSUBSCRIBED, Scenario, run_benchmark
+from repro.workloads.registry import benchmark_names
+
+
+def run(scenario: Scenario = OVERSUBSCRIBED) -> ExperimentResult:
+    result = ExperimentResult(
+        title="Figure 13: CP scheduling data-structure sizes (KB), "
+              "measured peaks under AWG",
+        columns=[
+            "Waiting Conditions",
+            "Monitored Addresses",
+            "Waiting WGs",
+            "Monitor Table",
+            "Saved Contexts",
+        ],
+    )
+    for name in benchmark_names():
+        res = run_benchmark(name, awg(), scenario, keep_gpu=True)
+        sizes = res.gpu.cp.datastructure_bytes()
+        result.add_row(
+            name,
+            **{
+                "Waiting Conditions": sizes["waiting_conditions"] / 1024.0,
+                "Monitored Addresses": sizes["monitored_addresses"] / 1024.0,
+                "Waiting WGs": sizes["waiting_wgs"] / 1024.0,
+                "Monitor Table": sizes["monitor_table"] / 1024.0,
+                "Saved Contexts": res.gpu.cp.arena.peak_bytes / 1024.0,
+            },
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render(digits=2))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

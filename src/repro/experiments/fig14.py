@@ -1,0 +1,71 @@
+"""Figure 14: speedup over Baseline, non-oversubscribed (the headline).
+
+Every policy's speedup = baseline_cycles / policy_cycles per benchmark,
+plus the geometric mean. The paper reports AWG at 12× geomean, with the
+largest wins on centralized primitives (SPM_G, FAM_G) and AWG matching
+the better of MonNR-All (barriers) and MonNR-One (contended mutexes)
+everywhere. Sleep appears only for the benchmarks modified to use
+exponential backoff (as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.policies import (
+    PolicySpec, awg, baseline, monnr_all, monnr_one, sleep, timeout,
+)
+from repro.experiments.report import ExperimentResult, geomean
+from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.workloads.registry import BENCHMARKS, benchmark_names
+
+GEOMEAN_ROW = "GeoMean"
+
+
+def default_policies() -> List[PolicySpec]:
+    return [baseline(), sleep(16_000), timeout(20_000),
+            monnr_all(), monnr_one(), awg()]
+
+
+def run(
+    scenario: Scenario = PAPER_SCALE,
+    benchmarks: Optional[List[str]] = None,
+    policies: Optional[List[PolicySpec]] = None,
+) -> ExperimentResult:
+    benchmarks = benchmarks or benchmark_names()
+    policies = policies or default_policies()
+    result = ExperimentResult(
+        title="Figure 14: Speedup normalized to Baseline, "
+              "non-oversubscribed (log-scale in the paper)",
+        columns=[p.name for p in policies],
+    )
+    speedups: Dict[str, List[float]] = {p.name: [] for p in policies}
+    for name in benchmarks:
+        base = run_benchmark(name, baseline(), scenario)
+        for policy in policies:
+            if policy.name == "Baseline":
+                res = base
+            elif policy.name.startswith("Sleep") and not BENCHMARKS[name].supports_sleep:
+                # The paper only shows Sleep for benchmarks modified to
+                # use exponential backoff.
+                result.add_row(name, **{policy.name: None})
+                continue
+            else:
+                res = run_benchmark(name, policy, scenario)
+            speedup = base.cycles / res.cycles
+            speedups[policy.name].append(speedup)
+            result.add_row(name, **{policy.name: speedup})
+    result.add_row(
+        GEOMEAN_ROW,
+        **{p.name: geomean(speedups[p.name]) for p in policies},
+    )
+    result.notes.append("paper: AWG geomean = 12x over Baseline")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

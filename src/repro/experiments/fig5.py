@@ -1,0 +1,47 @@
+"""Figure 5: work-group context size (KB) per benchmark.
+
+The paper reports 2-10 KB across the HeteroSync benchmarks; the size
+drives the cost of every context switch (vector registers for every WI,
+scalar registers for every wavefront, plus the WG's LDS allocation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import PAPER_SCALE, Scenario
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.core.policies import awg
+from repro.workloads.registry import BENCHMARKS, build_benchmark
+
+
+def run(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        title="Figure 5: Work-group context size",
+        columns=["context KB", "VGPR bytes", "SGPR bytes", "LDS bytes"],
+    )
+    for name, spec in BENCHMARKS.items():
+        gpu = GPU(GPUConfig(), awg())
+        kernel = build_benchmark(name, gpu, params=scenario.params())
+        res = spec.resources
+        vgpr = res.vgprs_per_wi * 4 * kernel.wis_per_wg
+        sgpr = res.sgprs_per_wavefront * 4 * kernel.wavefronts_per_wg
+        result.add_row(
+            name,
+            **{
+                "context KB": kernel.context_bytes() / 1024.0,
+                "VGPR bytes": vgpr,
+                "SGPR bytes": sgpr,
+                "LDS bytes": res.lds_bytes,
+            },
+        )
+    result.notes.append("paper range: 2-10 KB (their Figure 5)")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render(digits=2))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

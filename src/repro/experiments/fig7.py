@@ -1,0 +1,57 @@
+"""Figure 7: exponential backoff with ``s_sleep``, normalized runtime.
+
+Sweeps the maximum backoff interval (Sleep-1k … Sleep-256k) over the
+benchmarks the paper modified to use backoff. The paper's findings to
+reproduce: backoff helps contended primitives (< 1.0), over-large
+intervals become counterproductive, and no single interval is best for
+every benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies import baseline, sleep
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.workloads.registry import BENCHMARKS
+
+#: maximum backoff intervals, in cycles (the paper's Sleep-Xk labels)
+DEFAULT_INTERVALS = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000,
+                     64_000, 128_000, 256_000]
+
+
+def sleep_benchmarks() -> List[str]:
+    return [n for n, s in BENCHMARKS.items() if s.supports_sleep]
+
+
+def run(
+    scenario: Scenario = PAPER_SCALE,
+    intervals: Optional[List[int]] = None,
+) -> ExperimentResult:
+    intervals = intervals or DEFAULT_INTERVALS
+    labels = [f"Sleep-{i // 1000}k" for i in intervals]
+    result = ExperimentResult(
+        title="Figure 7: Exponential backoff with s_sleep "
+              "(runtime normalized to Baseline; < 1 is faster)",
+        columns=["Baseline"] + labels,
+    )
+    for name in sleep_benchmarks():
+        base = run_benchmark(name, baseline(), scenario)
+        result.add_row(name, Baseline=1.0)
+        for interval, label in zip(intervals, labels):
+            res = run_benchmark(name, sleep(backoff_max=interval), scenario)
+            result.add_row(name, **{label: res.cycles / base.cycles})
+    result.notes.append(
+        "the paper's finding: no single static sleep configuration is "
+        "best across primitives"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Figure 8: the Timeout architecture's interval sweep.
+
+Runtime of Timeout-10k/20k/50k/100k normalized to the busy-waiting
+Baseline (non-oversubscribed). The paper's findings: different
+synchronization primitives prefer different intervals, and some
+intervals are substantially *worse* than busy-waiting — motivating
+hardware monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies import baseline, timeout
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.workloads.registry import benchmark_names
+
+DEFAULT_INTERVALS = [10_000, 20_000, 50_000, 100_000]
+
+
+def run(
+    scenario: Scenario = PAPER_SCALE,
+    intervals: Optional[List[int]] = None,
+    benchmarks: Optional[List[str]] = None,
+) -> ExperimentResult:
+    intervals = intervals or DEFAULT_INTERVALS
+    benchmarks = benchmarks or benchmark_names()
+    labels = [f"Timeout-{i // 1000}k" for i in intervals]
+    result = ExperimentResult(
+        title="Figure 8: Timeout interval runtime, normalized to Baseline",
+        columns=["Baseline"] + labels,
+    )
+    for name in benchmarks:
+        base = run_benchmark(name, baseline(), scenario)
+        result.add_row(name, Baseline=1.0)
+        for interval, label in zip(intervals, labels):
+            res = run_benchmark(name, timeout(interval), scenario)
+            result.add_row(name, **{label: res.cycles / base.cycles})
+    result.notes.append(
+        "values > 1 mean Timeout is slower than busy-waiting — the "
+        "paper's motivation for monitor-based hardware support"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,28 @@
+"""Table 1: the baseline GPU model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.report import ExperimentResult
+from repro.gpu.config import GPUConfig
+
+
+def run(config: Optional[GPUConfig] = None) -> ExperimentResult:
+    config = config or GPUConfig()
+    result = ExperimentResult(
+        title="Table 1: Baseline GPU model",
+        columns=["value"],
+        row_label="parameter",
+    )
+    for key, value in config.describe().items():
+        result.add_row(key, value=value)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Table 2: benchmark characterization.
+
+Renders the paper's analytical row (in terms of G, L, n) alongside the
+values *measured* by instrumented runs under MonNR-All (whose waiting
+atomics register every waiter with the SyncMon, making the monitor's
+counters a complete characterization of the synchronization behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import monnr_all
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.workloads.registry import BENCHMARKS
+
+
+def run(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        title="Table 2: Inter-WG synchronization benchmarks "
+              f"[G={scenario.total_wgs}, L={scenario.wgs_per_group}]",
+        columns=[
+            "description",
+            "# sync vars (paper)",
+            "# sync vars (meas)",
+            "conds/var (paper)",
+            "conds/var (meas)",
+            "waiters/cond (paper)",
+            "waiters/cond (meas)",
+            "updates until met (paper)",
+            "updates until met (meas)",
+        ],
+    )
+    for name, spec in BENCHMARKS.items():
+        res = run_benchmark(name, monnr_all(), scenario, keep_gpu=True)
+        meas = res.gpu.syncmon.characterization()
+        result.add_row(
+            name,
+            **{
+                "description": spec.description,
+                "# sync vars (paper)": spec.table2.sync_vars,
+                "# sync vars (meas)": meas["sync_vars"],
+                "conds/var (paper)": spec.table2.conds_per_var,
+                "conds/var (meas)": meas["conds_per_var"],
+                "waiters/cond (paper)": spec.table2.waiters_per_cond,
+                "waiters/cond (meas)": meas["waiters_per_cond"],
+                "updates until met (paper)": spec.table2.updates_until_met,
+                "updates until met (meas)": meas["updates_until_met"],
+            },
+        )
+    result.notes.append(
+        "paper columns are symbolic (G = total WGs, L = WGs per group, "
+        "n = WIs per WG); measured columns are SyncMon counters."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render(digits=1))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Figure 6 rendering: timeline signatures of the scheduling policies.
+
+The paper's Figure 6 is a qualitative diagram of how each policy behaves
+between a failed synchronization attempt and its resumption. We render
+the real thing: per-WG state timelines from an actual simulation, as
+compact ASCII strips (one character per time bucket).
+
+Legend: ``.`` pending, ``R`` running, ``s`` stalled, ``x`` switching out,
+``o`` switched out, ``r`` ready, ``i`` resuming (swap-in), ``#`` done.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.policies import PolicySpec
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.workgroup import WGState
+from repro.workloads.registry import build_benchmark
+
+_GLYPH = {
+    WGState.PENDING: ".",
+    WGState.RUNNING: "R",
+    WGState.STALLED: "s",
+    WGState.SWITCHING_OUT: "x",
+    WGState.SWITCHED_OUT: "o",
+    WGState.READY: "r",
+    WGState.RESUMING: "i",
+    WGState.DONE: "#",
+}
+
+
+def trace_run(
+    policy: PolicySpec,
+    benchmark: str = "FAM_G",
+    total_wgs: int = 6,
+    wgs_per_group: int = 3,
+    iterations: int = 2,
+    max_wgs_per_cu: int = 2,
+    num_cus: int = 2,
+):
+    """Run a tiny oversubscription-prone configuration with tracing on."""
+    config = GPUConfig(
+        num_cus=num_cus,
+        max_wgs_per_cu=max_wgs_per_cu,
+        trace_states=True,
+        deadlock_window=250_000,
+    )
+    gpu = GPU(config, policy)
+    kernel = build_benchmark(benchmark, gpu, total_wgs=total_wgs,
+                             wgs_per_group=wgs_per_group,
+                             iterations=iterations)
+    gpu.launch(kernel)
+    outcome = gpu.run()
+    return gpu, outcome
+
+
+def render_timeline(gpu: GPU, width: int = 100) -> str:
+    """ASCII strip chart of every WG's state over the whole run."""
+    end = max(1, gpu.env.now)
+    bucket = max(1, end // width)
+    per_wg: Dict[int, List[tuple]] = {wg.wg_id: [] for wg in gpu.wgs}
+    for cycle, wg_id, state in gpu.state_trace:
+        per_wg[wg_id].append((cycle, state))
+    lines = [f"one column = {bucket:,} cycles; run = {end:,} cycles"]
+    for wg in gpu.wgs:
+        transitions = per_wg[wg.wg_id]
+        strip = []
+        state = WGState.PENDING
+        idx = 0
+        for col in range(width):
+            t = col * bucket
+            while idx < len(transitions) and transitions[idx][0] <= t:
+                state = transitions[idx][1]
+                idx += 1
+            strip.append(_GLYPH[state])
+        lines.append(f"WG{wg.wg_id:>3d} |{''.join(strip)}|")
+    lines.append("legend: . pending  R running  s stalled  x saving  "
+                 "o switched-out  r ready  i restoring  # done")
+    return "\n".join(lines)
+
+
+def policy_signature(gpu: GPU, wg_id: int = 0) -> List[str]:
+    """The ordered list of distinct states one WG moved through —
+    a machine-checkable version of the Figure 6 signatures."""
+    return [state.name for cycle, wid, state in gpu.state_trace
+            if wid == wg_id]

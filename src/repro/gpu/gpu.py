@@ -1,0 +1,237 @@
+"""The top-level GPU device: wiring, kernel launch, run loop, watchdog.
+
+Construction wires together the engine, memory hierarchy, SyncMon,
+Monitor Log, Command Processor, dispatcher and CUs according to one
+:class:`~repro.gpu.config.GPUConfig` and one
+:class:`~repro.core.policies.PolicySpec`. :meth:`GPU.run` drives the
+event loop until the launched kernels complete, the progress watchdog
+declares deadlock, or the cycle budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.monitor_log import MonitorLog
+from repro.core.policies import PolicySpec
+from repro.core.syncmon import SyncMon
+from repro.errors import DeadlockError
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.config import GPUConfig
+from repro.gpu.command_processor import CommandProcessor
+from repro.gpu.dispatcher import Dispatcher
+from repro.gpu.kernel import Kernel, KernelLaunch
+from repro.gpu.wavefront import Wavefront
+from repro.gpu.workgroup import WGState, WorkGroup
+from repro.mem.backing import BackingStore
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStream
+from repro.sim.stats import StatRegistry
+
+
+@dataclass
+class RunOutcome:
+    """Result of one :meth:`GPU.run`."""
+
+    completed: bool
+    deadlocked: bool
+    cycles: int
+    reason: str
+    stats: Dict[str, float] = field(default_factory=dict)
+    wg_running_cycles: int = 0
+    wg_waiting_cycles: int = 0
+    context_switches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.deadlocked
+
+
+class GPU:
+    """One simulated GPU device under one scheduling policy."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        policy: PolicySpec,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.env = Engine()
+        self.rng = RngStream(seed if seed is not None else config.seed, "gpu")
+        self.stats = StatRegistry(self.env)
+        self.store = BackingStore()
+        self.hierarchy = MemoryHierarchy(self.env, config, self.store)
+        self.monitor_log = MonitorLog(self.store, config.monitor_log_entries)
+        self.syncmon = SyncMon(
+            self.env, config, self.hierarchy, self.monitor_log,
+            policy, self.rng.child("syncmon"),
+        )
+        self.cus: List[ComputeUnit] = [
+            ComputeUnit(self.env, config, i) for i in range(config.num_cus)
+        ]
+        self.dispatcher = Dispatcher(self)
+        self.cp = CommandProcessor(self)
+        self.hierarchy.atomic_observer = self.syncmon.on_atomic
+        self.syncmon.resume_hook = self.dispatcher.notify_met
+        self.wgs: List[WorkGroup] = []
+        self.launches: List[KernelLaunch] = []
+        self.progress_count = 0
+        self._finished = 0
+        self.resource_loss_applied = False
+        #: (cycle, wg_id, WGState) transitions when config.trace_states
+        self.state_trace: List[tuple] = []
+        self._completion_holds = 0
+
+    # ------------------------------------------------------------------
+    # memory helpers for workloads
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, align: int = 4) -> int:
+        return self.store.alloc(nbytes, align)
+
+    def alloc_sync_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` synchronization variables, one per cache
+        line (64 B padding, as the paper's benchmarks do)."""
+        stride = self.config.block_bytes
+        base = self.store.alloc(count * stride, align=stride)
+        return [base + i * stride for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel) -> KernelLaunch:
+        """Create the kernel's WGs and hand them to the dispatcher.
+
+        The dispatcher assigns unique WG IDs (§V.B: "the dispatcher is
+        responsible for assigning a unique ID to each dispatched WG")."""
+        ids = []
+        for grid_index in range(kernel.grid_wgs):
+            wg_id = len(self.wgs)
+            wg = WorkGroup(self, kernel, wg_id, grid_index=grid_index)
+            wg.wavefronts = [
+                Wavefront(self, wg, i)
+                for i in range(kernel.wavefronts_per_wg if kernel.worker_body else 1)
+            ]
+            self.wgs.append(wg)
+            self.dispatcher.add(wg)
+            ids.append(wg_id)
+        launch = KernelLaunch(kernel=kernel, wg_ids=ids, launched_at=self.env.now)
+        self.launches.append(launch)
+        return launch
+
+    # ------------------------------------------------------------------
+    # progress and completion
+    # ------------------------------------------------------------------
+    def note_progress(self, tag: str = "progress") -> None:
+        self.progress_count += 1
+        self.stats.counter(f"progress.{tag}").incr()
+
+    def note_execution(self) -> None:
+        """Lightweight watchdog feed: executing instructions *is* forward
+        progress (a busy-wait spin loop executes none — it only retries
+        atomics — so deadlock detection is unaffected)."""
+        self.progress_count += 1
+
+    def wg_done(self, wg: WorkGroup) -> None:
+        wg.set_state(WGState.DONE)
+        if wg.cu is not None:
+            wg.cu.release(wg)
+            wg.cu = None
+        wg.open_gate()
+        self._finished += 1
+        self.note_progress("wg_done")
+        wg.done_event.try_succeed()
+        self.dispatcher.kick()
+
+    @property
+    def finished_wgs(self) -> int:
+        return self._finished
+
+    def hold_completion(self) -> None:
+        """Keep :meth:`run` going even with no launched WGs outstanding
+        (used by deferred launches, e.g. cooperative groups)."""
+        self._completion_holds += 1
+
+    def release_completion(self) -> None:
+        self._completion_holds -= 1
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run(self, raise_on_deadlock: bool = False) -> RunOutcome:
+        cfg = self.config
+        env = self.env
+        last_progress = -1
+        next_check = cfg.deadlock_window
+        reason = "completed"
+        deadlocked = False
+
+        def outstanding() -> bool:
+            # len(self.wgs) is re-read each time: deferred launches
+            # (cooperative groups) add WGs mid-run and hold completion
+            # until they dispatch.
+            return self._finished < len(self.wgs) or self._completion_holds > 0
+
+        while outstanding():
+            if env.now >= cfg.max_cycles:
+                reason = "max_cycles"
+                deadlocked = True
+                break
+            if env.now >= next_check:
+                if self.progress_count == last_progress:
+                    reason = "watchdog"
+                    deadlocked = True
+                    break
+                last_progress = self.progress_count
+                next_check = env.now + cfg.deadlock_window
+            if not env.step():
+                if outstanding():
+                    reason = "no_events"
+                    deadlocked = True
+                break
+
+        if not deadlocked:
+            # Drain same-cycle completion events (e.g. per-kernel AllOf
+            # callbacks scheduled by the final WG's completion).
+            env.run(until=env.now)
+
+        if deadlocked and raise_on_deadlock:
+            raise DeadlockError(
+                f"{self.policy.name}: {reason} at cycle {env.now} "
+                f"({self._finished}/{len(self.wgs)} WGs finished)",
+                cycle=env.now,
+            )
+        return self._outcome(not deadlocked and not outstanding(),
+                             deadlocked, reason)
+
+    def _outcome(self, completed: bool, deadlocked: bool, reason: str) -> RunOutcome:
+        running = 0
+        waiting = 0
+        switches = 0
+        for wg in self.wgs:
+            wg.set_state(wg.state)  # flush accounting to 'now'
+            running += wg.cycles_by_bucket["running"]
+            waiting += wg.cycles_by_bucket["waiting"]
+            switches += wg.context_switches
+        snap = self.stats.snapshot()
+        snap.update(self.syncmon.snapshot())
+        snap["hierarchy.atomics"] = float(self.hierarchy.atomic_count)
+        snap["hierarchy.loads"] = float(self.hierarchy.load_count)
+        snap["hierarchy.stores"] = float(self.hierarchy.store_count)
+        snap["l2.hit_rate"] = self.hierarchy.l2.stats.hit_rate
+        snap["log.appends"] = float(self.monitor_log.total_appends)
+        snap["log.peak"] = float(self.monitor_log.peak_occupancy)
+        snap["cp.spilled_resumes"] = float(self.cp.spilled_resumes)
+        return RunOutcome(
+            completed=completed,
+            deadlocked=deadlocked,
+            cycles=self.env.now,
+            reason=reason,
+            stats=snap,
+            wg_running_cycles=running,
+            wg_waiting_cycles=waiting,
+            context_switches=switches,
+        )

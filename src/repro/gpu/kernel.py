@@ -1,0 +1,67 @@
+"""Kernel and launch abstractions.
+
+A kernel body is a Python generator function taking a
+:class:`~repro.gpu.device_api.WavefrontCtx`; the generator yields device
+operations (via ``yield from ctx.<op>(...)``). The *master* wavefront of
+each WG runs ``body``; additional wavefronts run ``worker_body`` when
+provided (they typically compute and join local barriers, mirroring the
+master-thread idiom the paper's Figure 10 kernels use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ResourceProfile:
+    """Per-kernel register/LDS usage, drives the WG context size (Fig 5)."""
+
+    vgprs_per_wi: int = 16
+    sgprs_per_wavefront: int = 64
+    lds_bytes: int = 0
+
+    def context_bytes(self, wis_per_wg: int, wavefronts_per_wg: int) -> int:
+        """Architectural WG context: vector + scalar registers + LDS."""
+        vec = self.vgprs_per_wi * 4 * wis_per_wg
+        sca = self.sgprs_per_wavefront * 4 * wavefronts_per_wg
+        return vec + sca + self.lds_bytes
+
+
+@dataclass
+class Kernel:
+    """A GPU kernel: a grid of WGs running a coroutine body."""
+
+    name: str
+    body: Callable[..., Generator]
+    grid_wgs: int
+    wavefronts_per_wg: int = 1
+    wis_per_wavefront: int = 64
+    worker_body: Optional[Callable[..., Generator]] = None
+    resources: ResourceProfile = field(default_factory=ResourceProfile)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.grid_wgs < 1:
+            raise ConfigError(f"kernel {self.name}: grid_wgs must be >= 1")
+        if self.wavefronts_per_wg < 1:
+            raise ConfigError(f"kernel {self.name}: wavefronts_per_wg must be >= 1")
+
+    @property
+    def wis_per_wg(self) -> int:
+        return self.wavefronts_per_wg * self.wis_per_wavefront
+
+    def context_bytes(self) -> int:
+        return self.resources.context_bytes(self.wis_per_wg, self.wavefronts_per_wg)
+
+
+@dataclass
+class KernelLaunch:
+    """Handle returned by :meth:`repro.gpu.gpu.GPU.launch`."""
+
+    kernel: Kernel
+    wg_ids: list
+    launched_at: int

@@ -1,0 +1,145 @@
+"""Priority-based kernel scheduling with whole-kernel preemption (§II.C).
+
+Current GPUs provide *inter-kernel* IFP by context switching all the
+resident WGs of a lower-priority kernel when a higher-priority kernel
+arrives (asynchronous compute / HSA queue priorities). The paper's
+motivating Figure 2 scenario falls out of this mechanism naturally: when
+the preempted kernel is *rescheduled*, the scheduler "may not provide
+the same execution resources as before, resulting in over-subscription"
+— and a busy-waiting kernel deadlocks on its own synchronization, while
+AWG's cooperative WG scheduling keeps it live on whatever is left.
+
+:class:`PriorityKernelScheduler` models exactly that contract:
+
+- ``launch(kernel, priority)`` — if the grid does not fit, whole
+  lower-priority kernels are suspended (all their WGs context switched
+  out and *held*, not re-queued) until enough slots free up;
+- when any kernel completes, the highest-priority suspended kernel is
+  resumed: its WGs are re-queued and dispatched as capacity allows —
+  possibly fewer slots than WGs, i.e. oversubscribed.
+
+Re-queuing on resume uses the *kernel-level* restore path that exists in
+current GPUs (it bypasses the policy's WG-scheduling machinery), so the
+scenario is meaningful even for the busy-waiting Baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.gpu.kernel import Kernel, KernelLaunch
+from repro.gpu.workgroup import WGState
+from repro.sim.events import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu import GPU
+    from repro.gpu.workgroup import WorkGroup
+
+
+@dataclass
+class ScheduledKernel:
+    """Book-keeping for one prioritized kernel."""
+
+    launch: KernelLaunch
+    priority: int
+    suspended: bool = False
+    suspend_count: int = 0
+    completed: bool = False
+    completed_at: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.launch.kernel.name
+
+
+class PriorityKernelScheduler:
+    """Whole-kernel preemptive scheduling on top of one GPU."""
+
+    def __init__(self, gpu: "GPU") -> None:
+        self.gpu = gpu
+        self.kernels: List[ScheduledKernel] = []
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel, priority: int = 0) -> ScheduledKernel:
+        """Launch with a priority; preempts lower-priority kernels if the
+        grid does not fit in the currently free slots."""
+        shortfall = kernel.grid_wgs - self._free_slots()
+        if shortfall > 0:
+            self._make_room(shortfall, priority)
+        launch = self.gpu.launch(kernel)
+        entry = ScheduledKernel(launch=launch, priority=priority)
+        for wg_id in launch.wg_ids:
+            self.gpu.wgs[wg_id].priority = priority
+        self.kernels.append(entry)
+        done_events = [self.gpu.wgs[i].done_event for i in launch.wg_ids]
+        AllOf(self.gpu.env, done_events).add_callback(
+            lambda _ev, e=entry: self._kernel_done(e)
+        )
+        return entry
+
+    def _free_slots(self) -> int:
+        return sum(cu.free_slots for cu in self.gpu.cus)
+
+    # ------------------------------------------------------------------
+    # preemption
+    # ------------------------------------------------------------------
+    def _make_room(self, needed: int, priority: int) -> None:
+        """Suspend whole lower-priority kernels, lowest priority first."""
+        victims = sorted(
+            (k for k in self.kernels
+             if not k.suspended and not k.completed and k.priority < priority),
+            key=lambda k: k.priority,
+        )
+        freed = 0
+        for victim in victims:
+            if freed >= needed:
+                break
+            freed += self._suspend(victim)
+
+    def _suspend(self, entry: ScheduledKernel) -> int:
+        """Context switch out every resident WG of ``entry``'s kernel."""
+        entry.suspended = True
+        entry.suspend_count += 1
+        evicted = 0
+        for wg_id in entry.launch.wg_ids:
+            wg = self.gpu.wgs[wg_id]
+            if wg.state is WGState.DONE:
+                continue
+            wg.kernel_suspended = True
+            if wg.resident:
+                wg.request_evict()
+                evicted += 1
+        # WGs still waiting in the pending/ready queues are simply frozen
+        # by the kernel_suspended flag (the dispatcher skips them).
+        self.gpu.stats.counter("ksched.suspensions").incr()
+        return evicted
+
+    def _resume(self, entry: ScheduledKernel) -> None:
+        """Re-queue the kernel's WGs (kernel-level restore path)."""
+        entry.suspended = False
+        for wg_id in entry.launch.wg_ids:
+            wg = self.gpu.wgs[wg_id]
+            wg.kernel_suspended = False
+            if wg.state is WGState.SWITCHED_OUT:
+                self.gpu.dispatcher.requeue(wg)
+        self.gpu.dispatcher.kick()
+        self.gpu.stats.counter("ksched.resumptions").incr()
+
+    # ------------------------------------------------------------------
+    def _kernel_done(self, entry: ScheduledKernel) -> None:
+        entry.completed = True
+        entry.completed_at = self.gpu.env.now
+        self.gpu.note_progress("kernel_complete")
+        waiting = [k for k in self.kernels if k.suspended and not k.completed]
+        if waiting:
+            best = max(waiting, key=lambda k: k.priority)
+            self._resume(best)
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, str]:
+        return {
+            k.name: ("done" if k.completed
+                     else "suspended" if k.suspended else "running")
+            for k in self.kernels
+        }

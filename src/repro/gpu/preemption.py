@@ -1,0 +1,57 @@
+"""Mid-execution resource loss (the paper's oversubscribed experiment).
+
+§VI: "our oversubscribed experiment starts with 8 CUs and after 50 µs the
+WGs from one CU are context switched out," emulating a kernel-scheduler
+time slice ending or a high-priority kernel preempting. The disabled CU's
+WGs are forcibly evicted; whether they can ever run again depends on the
+scheduling policy — busy-waiting residents never yield, so the Baseline
+deadlocks if an evicted WG held a lock or is needed for a barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu import GPU
+
+
+@dataclass(frozen=True)
+class ResourceLossEvent:
+    """Disable one CU (and evict its WGs) at a point in time."""
+
+    at_us: float = 50.0
+    cu_id: Optional[int] = None  # None = highest-numbered CU
+
+    def schedule(self, gpu: "GPU") -> None:
+        cu_id = self.cu_id if self.cu_id is not None else gpu.config.num_cus - 1
+        delay = gpu.config.cycles(self.at_us)
+        gpu.env.call_at(delay, lambda: self._apply(gpu, cu_id))
+
+    def _apply(self, gpu: "GPU", cu_id: int) -> None:
+        cu = gpu.cus[cu_id]
+        cu.disable()
+        victims = list(cu.resident)
+        gpu.stats.counter("preemption.evictions").incr(len(victims))
+        for wg in victims:
+            wg.request_evict()
+        gpu.resource_loss_applied = True
+
+
+@dataclass(frozen=True)
+class ResourceRestoreEvent:
+    """Re-enable a previously disabled CU (kernel rescheduled with more
+    resources) — used by dynamic-allocation examples and tests."""
+
+    at_us: float
+    cu_id: int
+
+    def schedule(self, gpu: "GPU") -> None:
+        delay = gpu.config.cycles(self.at_us)
+
+        def _apply() -> None:
+            gpu.cus[self.cu_id].enable()
+            gpu.dispatcher.kick()
+
+        gpu.env.call_at(delay, _apply)

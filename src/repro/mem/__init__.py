@@ -1,0 +1,26 @@
+"""Memory-hierarchy substrate.
+
+- :class:`~repro.mem.backing.BackingStore` — word-addressable global
+  memory with a bump allocator.
+- :class:`~repro.mem.cache.Cache` — a set-associative tag/LRU cache model
+  with per-line pinning and a per-tag *monitored* bit (the AWG L2 tag
+  extension).
+- :mod:`~repro.mem.atomics` — the atomic ALU operations performed at the
+  shared L2 (GPUs perform atomics at the last-level cache).
+- :class:`~repro.mem.hierarchy.MemoryHierarchy` — L1 (per CU,
+  write-through) → banked shared L2 → DRAM timing composition.
+"""
+
+from repro.mem.atomics import AtomicOp, AtomicResult
+from repro.mem.backing import BackingStore
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AtomicOp",
+    "AtomicResult",
+    "BackingStore",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+A small, from-scratch, generator-based discrete-event kernel in the style
+of SimPy, specialized for cycle-accurate-ish hardware modelling:
+
+- :class:`~repro.sim.engine.Engine` — the event heap and simulation clock
+  (integer cycles).
+- :class:`~repro.sim.events.Event` — one-shot completion events with
+  callbacks; :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf`, :class:`~repro.sim.events.AllOf`.
+- :class:`~repro.sim.process.Process` — a generator that yields events and
+  is resumed with their values; supports interruption.
+- :class:`~repro.sim.resources.FifoResource` — a FIFO-arbitrated resource
+  used to model issue ports, cache banks and the command processor.
+- :mod:`~repro.sim.stats` — counters and time-weighted statistics.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import FifoResource
+from repro.sim.rng import RngStream
+from repro.sim.stats import Counter, StatRegistry, TimeWeighted
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Engine",
+    "Event",
+    "FifoResource",
+    "Interrupt",
+    "Process",
+    "RngStream",
+    "StatRegistry",
+    "TimeWeighted",
+    "Timeout",
+]

@@ -1,0 +1,114 @@
+"""The discrete-event simulation engine.
+
+The engine owns the simulation clock (an integer cycle count) and a binary
+heap of scheduled events. Components schedule :class:`~repro.sim.events.Event`
+objects to fire after a delay; processes (see :mod:`repro.sim.process`)
+yield events to wait for them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Engine:
+    """Simulation clock plus event heap.
+
+    The clock unit is one GPU core cycle. Events scheduled at the same
+    cycle fire in FIFO order of scheduling (a monotonically increasing
+    sequence number breaks ties), which makes simulations deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create a fresh unfired event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: object = None) -> Event:
+        """Create an event that fires ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        ev = Event(self)
+        self.schedule(ev, delay=delay, value=value)
+        return ev
+
+    def schedule(self, event: Event, delay: int = 0, value: object = None) -> Event:
+        """Arrange for ``event`` to fire ``delay`` cycles from now.
+
+        The event's value is set at fire time; scheduling an already-fired
+        or already-scheduled event is an error.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        event.mark_scheduled(value)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        return event
+
+    def call_at(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Invoke ``fn`` after ``delay`` cycles (fire-and-forget helper)."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def peek(self) -> Optional[int]:
+        """The time of the next scheduled event, or None if idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Fire the next event. Returns False if the heap is empty."""
+        while self._heap:
+            when, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if when < self._now:
+                raise SimulationError("event heap time went backwards")
+            self._now = when
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` cycles pass, or the event
+        budget is exhausted. Returns the number of events processed."""
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return sum(1 for (_, _, ev) in self._heap if not ev.cancelled)

@@ -1,0 +1,88 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator. The generator yields
+:class:`~repro.sim.events.Event` objects; when an event fires the process
+is resumed with the event's value as the result of the ``yield``
+expression. Processes are themselves events — they fire with the
+generator's return value — so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; fires (as an event) when the generator ends."""
+
+    def __init__(self, env: "Engine", generator: Generator, name: str = "") -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process needs a generator, got {type(generator)!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        # Start on the next engine tick at the current time so creation
+        # order does not leak into execution order mid-callback.
+        env.timeout(0).add_callback(lambda _ev: self._resume(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self.fired
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.fired:
+            return
+        waiting = self._waiting_on
+        self._waiting_on = None
+        # The event the process was waiting for may still fire later; the
+        # stale callback checks _waiting_on identity and ignores it.
+        self.env.timeout(0).add_callback(
+            lambda _ev, c=cause: self._resume(None, Interrupt(c))
+        )
+        del waiting
+
+    def _resume(self, value: object, exc: Optional[BaseException]) -> None:
+        if self.fired:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.try_succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: terminate quietly.
+            self.try_succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._make_wakeup(target))
+
+    def _make_wakeup(self, target: Event):
+        def _wakeup(event: Event) -> None:
+            if self._waiting_on is target:
+                self._resume(event.value, None)
+
+        return _wakeup

@@ -1,0 +1,85 @@
+"""FIFO-arbitrated resources.
+
+Used to model hardware units that serve one request at a time (or a small
+number in parallel): SIMD issue ports, L2 cache banks, the DRAM channel
+scheduler and the command processor. Requests queue in FIFO order and each
+holds the resource for a caller-specified service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class FifoResource:
+    """A resource with ``slots`` parallel servers and a FIFO queue.
+
+    ``service(cycles)`` returns an event that fires when the request has
+    *completed* service (queueing delay + service time). Busy-time and
+    queue statistics are tracked for reporting.
+    """
+
+    def __init__(self, env: "Engine", name: str, slots: int = 1) -> None:
+        if slots < 1:
+            raise SimulationError(f"resource {name!r} needs >= 1 slot")
+        self.env = env
+        self.name = name
+        self.slots = slots
+        self._busy = 0
+        self._queue: Deque[Tuple[Event, int, int]] = deque()  # (done, cycles, arrived)
+        # statistics
+        self.total_requests = 0
+        self.total_service_cycles = 0
+        self.total_queue_cycles = 0
+        self.peak_queue_depth = 0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def service(self, cycles: int) -> Event:
+        """Request ``cycles`` of service; returns the completion event."""
+        if cycles < 0:
+            raise SimulationError("negative service time")
+        self.total_requests += 1
+        self.total_service_cycles += cycles
+        done = Event(self.env)
+        if self._busy < self.slots:
+            self._begin(done, cycles, queued_at=None)
+        else:
+            self._queue.append((done, cycles, self.env.now))
+            self.peak_queue_depth = max(self.peak_queue_depth, len(self._queue))
+        return done
+
+    def _begin(self, done: Event, cycles: int, queued_at) -> None:
+        self._busy += 1
+        if queued_at is not None:
+            self.total_queue_cycles += self.env.now - queued_at
+        finish = self.env.timeout(cycles)
+        finish.add_callback(lambda _ev: self._finish(done))
+
+    def _finish(self, done: Event) -> None:
+        self._busy -= 1
+        done.try_succeed()
+        if self._queue and self._busy < self.slots:
+            nxt, cycles, arrived = self._queue.popleft()
+            self._begin(nxt, cycles, queued_at=arrived)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the resource spent serving requests.
+
+        Approximate for multi-slot resources (sums service demand)."""
+        if self.env.now == 0:
+            return 0.0
+        return self.total_service_cycles / (self.env.now * self.slots)

@@ -1,0 +1,40 @@
+"""Deterministic random number streams.
+
+Every component that needs randomness derives a named child stream from
+the experiment's root seed, so adding a new consumer of randomness never
+perturbs existing components' streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStream:
+    """A named, reproducible random stream derived from a root seed."""
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+        digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "little"))
+
+    def child(self, name: str) -> "RngStream":
+        """Derive an independent stream; same (seed, path) → same stream."""
+        return RngStream(self.seed, f"{self.name}/{name}")
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        self._rng.shuffle(seq)
+
+    def sample(self, seq, k: int):
+        return self._rng.sample(seq, k)

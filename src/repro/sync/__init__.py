@@ -1,0 +1,28 @@
+"""Device-side synchronization primitive library.
+
+Python equivalents of the HeteroSync primitives the paper evaluates
+(Table 2): test-and-set spin mutexes (with and without software
+exponential backoff), the centralized fetch-and-add ticket mutex, the
+decentralized ticket ("sleep") mutex of Figure 10, and two-level tree
+barriers in centralized (atomic-counter) and decentralized (lock-free)
+flavours, each with a local-exchange variant.
+
+All primitives are *policy-agnostic*: they express what they wait for
+through :meth:`~repro.gpu.device_api.WavefrontCtx.sync_wait`, and the
+active scheduling policy decides how the wait is lowered (busy-wait,
+backoff, wait instruction, or waiting atomic).
+"""
+
+from repro.sync.barrier import AtomicTreeBarrier, LFTreeBarrier
+from repro.sync.discovery import DiscoveredBarrier, OccupancyDiscovery
+from repro.sync.mutex import FAMutex, SleepMutex, SpinMutex
+
+__all__ = [
+    "AtomicTreeBarrier",
+    "DiscoveredBarrier",
+    "FAMutex",
+    "LFTreeBarrier",
+    "OccupancyDiscovery",
+    "SleepMutex",
+    "SpinMutex",
+]

@@ -1,0 +1,78 @@
+"""Bank-account benchmark (named in the paper's Table 2 caption).
+
+WGs transfer money between accounts protected by per-account mutexes,
+taking the two locks in address order (the classic deadlock-free
+protocol). Total balance is conserved only if mutual exclusion holds
+across both locks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.gpu.kernel import Kernel, ResourceProfile
+from repro.sim.rng import RngStream
+from repro.sync.mutex import FAMutex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu import GPU
+
+
+def build_bank_account_kernel(
+    gpu: "GPU",
+    total_wgs: int = 16,
+    accounts: int = 8,
+    transfers_per_wg: int = 4,
+    initial_balance: int = 1000,
+    seed: int = 7,
+) -> Kernel:
+    locks: List[FAMutex] = [FAMutex(gpu) for _ in range(accounts)]
+    balances = gpu.alloc_sync_vars(accounts)
+    for addr in balances:
+        gpu.store.write(addr, initial_balance)
+
+    rng = RngStream(seed, "bank")
+    # Pre-generate each WG's transfer plan so runs are deterministic.
+    plans = []
+    for wg in range(total_wgs):
+        wg_rng = rng.child(f"wg{wg}")
+        plan = []
+        for _ in range(transfers_per_wg):
+            src = wg_rng.randint(0, accounts - 1)
+            dst = wg_rng.randint(0, accounts - 2)
+            if dst >= src:
+                dst += 1
+            plan.append((src, dst, wg_rng.randint(1, 50)))
+        plans.append(plan)
+
+    def body(ctx):
+        for src, dst, amount in plans[ctx.grid_index]:
+            first, second = (src, dst) if src < dst else (dst, src)
+            yield from ctx.compute(200)
+            t1 = yield from locks[first].acquire(ctx)
+            t2 = yield from locks[second].acquire(ctx)
+            src_bal = yield from ctx.load(balances[src])
+            dst_bal = yield from ctx.load(balances[dst])
+            yield from ctx.compute(40)
+            yield from ctx.store(balances[src], src_bal - amount)
+            yield from ctx.store(balances[dst], dst_bal + amount)
+            yield from locks[second].release(ctx, t2)
+            yield from locks[first].release(ctx, t1)
+            ctx.progress("transfer")
+
+    def validate(g: "GPU") -> None:
+        total = sum(g.store.read(a) for a in balances)
+        expected = accounts * initial_balance
+        if total != expected:
+            raise AssertionError(
+                f"total balance {total} != {expected}: money created/destroyed"
+            )
+
+    return Kernel(
+        name="BankAccount",
+        body=body,
+        grid_wgs=total_wgs,
+        resources=ResourceProfile(vgprs_per_wi=14, sgprs_per_wavefront=96,
+                                  lds_bytes=256),
+        args={"locks": locks, "balances": balances, "validate": validate},
+    )

@@ -1,0 +1,72 @@
+"""Hash-table benchmark (named in the paper's Table 2 caption).
+
+Every WG inserts a stream of keys into a shared open-hashing table with
+one mutex per bucket; bucket counters are updated non-atomically inside
+the critical section, so mutual-exclusion violations corrupt the final
+occupancy histogram.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.gpu.kernel import Kernel, ResourceProfile
+from repro.sync.mutex import SpinMutex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu import GPU
+
+
+def build_hash_table_kernel(
+    gpu: "GPU",
+    total_wgs: int = 16,
+    buckets: int = 8,
+    inserts_per_wg: int = 4,
+    work_cycles: int = 300,
+) -> Kernel:
+    """One mutex-protected counter per bucket; keys hashed by a simple
+    multiplicative hash, so WGs collide on popular buckets."""
+    locks: List[SpinMutex] = [SpinMutex(gpu) for _ in range(buckets)]
+    counts = gpu.alloc_sync_vars(buckets)
+
+    def bucket_of(key: int) -> int:
+        return (key * 2654435761) % buckets
+
+    def body(ctx):
+        for i in range(inserts_per_wg):
+            key = ctx.grid_index * inserts_per_wg + i
+            b = bucket_of(key)
+            yield from ctx.compute(work_cycles)
+            token = yield from locks[b].acquire(ctx)
+            occupancy = yield from ctx.load(counts[b])
+            yield from ctx.compute(50)  # chain walk
+            yield from ctx.store(counts[b], occupancy + 1)
+            yield from locks[b].release(ctx, token)
+            ctx.progress("insert")
+
+    def validate(g: "GPU") -> None:
+        total = sum(g.store.read(a) for a in counts)
+        expected = total_wgs * inserts_per_wg
+        if total != expected:
+            raise AssertionError(
+                f"hash table holds {total} items, expected {expected}"
+            )
+        per_bucket = [0] * buckets
+        for wg in range(total_wgs):
+            for i in range(inserts_per_wg):
+                per_bucket[bucket_of(wg * inserts_per_wg + i)] += 1
+        for b in range(buckets):
+            actual = g.store.read(counts[b])
+            if actual != per_bucket[b]:
+                raise AssertionError(
+                    f"bucket {b} holds {actual}, expected {per_bucket[b]}"
+                )
+
+    return Kernel(
+        name="HashTable",
+        body=body,
+        grid_wgs=total_wgs,
+        resources=ResourceProfile(vgprs_per_wi=12, sgprs_per_wavefront=80,
+                                  lds_bytes=512),
+        args={"locks": locks, "counts": counts, "validate": validate},
+    )

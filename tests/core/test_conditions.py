@@ -1,0 +1,44 @@
+"""Unit tests for wait conditions and directives."""
+
+from repro.core.conditions import WaitCondition, WaitDirective
+
+
+def test_condition_met_by_exact_value():
+    cond = WaitCondition(0x1000, 5)
+    assert cond.met_by(5)
+    assert not cond.met_by(4)
+
+
+def test_expected_value_wraps_to_32bit():
+    cond = WaitCondition(0x1000, 0xFFFFFFFF)
+    assert cond.expected == -1
+    assert cond.met_by(-1)
+
+
+def test_conditions_hashable_and_equal():
+    a = WaitCondition(0x40, 1)
+    b = WaitCondition(0x40, 1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_exclusive_flag_excluded_from_equality():
+    a = WaitCondition(0x40, 1, exclusive=True)
+    b = WaitCondition(0x40, 1, exclusive=False)
+    assert a == b
+
+
+def test_different_addr_or_value_not_equal():
+    assert WaitCondition(0x40, 1) != WaitCondition(0x80, 1)
+    assert WaitCondition(0x40, 1) != WaitCondition(0x40, 2)
+
+
+def test_str_rendering():
+    assert str(WaitCondition(0x40, 1)) == "[0x40]==1"
+
+
+def test_directive_values():
+    assert {d.value for d in WaitDirective} == {
+        "proceed", "stall", "switch", "retry"
+    }

@@ -1,0 +1,66 @@
+"""Unit tests for universal hashing and the condition hash."""
+
+import pytest
+
+from repro.core.hashing import (
+    UniversalHash, condition_key, condition_set_index, hash_family,
+)
+from repro.sim.rng import RngStream
+
+
+def test_hash_in_range():
+    h = UniversalHash(256, RngStream(1, "h"))
+    for key in range(0, 100000, 997):
+        assert 0 <= h(key) < 256
+
+
+def test_hash_deterministic_per_seed():
+    a = UniversalHash(64, RngStream(5, "h"))
+    b = UniversalHash(64, RngStream(5, "h"))
+    assert [a(k) for k in range(50)] == [b(k) for k in range(50)]
+
+
+def test_hash_differs_across_seeds():
+    a = UniversalHash(1024, RngStream(5, "h"))
+    b = UniversalHash(1024, RngStream(6, "h"))
+    assert [a(k) for k in range(50)] != [b(k) for k in range(50)]
+
+
+def test_hash_spreads_sequential_keys():
+    """Universal hashing must spread cache-line-strided addresses."""
+    h = UniversalHash(256, RngStream(2, "h"))
+    buckets = {h(0x1000 + i * 64) for i in range(256)}
+    # strided keys through ((a*x+b) mod p) mod m keep some residue
+    # structure; anything near half the buckets is healthy spread
+    assert len(buckets) >= 96
+
+
+def test_buckets_must_be_positive():
+    with pytest.raises(ValueError):
+        UniversalHash(0, RngStream(1, "h"))
+
+
+def test_condition_key_mixes_addr_and_value():
+    k1 = condition_key(0x1000, 1, 64, 256)
+    k2 = condition_key(0x1000, 2, 64, 256)
+    k3 = condition_key(0x1040, 1, 64, 256)
+    assert len({k1, k2, k3}) == 3
+
+
+def test_condition_key_negative_value():
+    k = condition_key(0x1000, -1, 64, 256)
+    assert k >= 0
+
+
+def test_condition_set_index_in_range():
+    h = UniversalHash(256, RngStream(3, "h"))
+    for v in (-1, 0, 1, 7, 123456):
+        idx = condition_set_index(0x2000, v, 64, 256, h)
+        assert 0 <= idx < 256
+
+
+def test_hash_family_independent():
+    fam = hash_family(6, 24, RngStream(4, "fam"))
+    assert len(fam) == 6
+    outputs = [tuple(h(k) for k in range(10)) for h in fam]
+    assert len(set(outputs)) == 6  # all six differ

@@ -1,0 +1,108 @@
+"""Unit tests for AWG's resume-count and stall-time predictors."""
+
+import pytest
+
+from repro.core.predictor import ResumeDecision, ResumePredictor, StallTimePredictor
+from repro.sim.rng import RngStream
+
+
+@pytest.fixture
+def pred():
+    return ResumePredictor(filter_count=512, bits=24, hashes=6,
+                           rng=RngStream(1, "pred"))
+
+
+ADDR = 0x4000
+
+
+def test_barrier_pattern_predicts_all(pred):
+    """Many waiters + many unique updates (a counting barrier) -> ALL."""
+    for v in range(1, 8):
+        pred.record_update(ADDR, v)
+    assert pred.predict(ADDR, num_waiters=7) is ResumeDecision.ALL
+
+
+def test_mutex_pattern_predicts_one(pred):
+    """Many waiters + a toggling lock word (two unique values) -> ONE."""
+    pred.record_update(ADDR, 1)
+    pred.record_update(ADDR, 0)
+    pred.record_update(ADDR, 1)
+    pred.record_update(ADDR, 0)
+    assert pred.unique_updates(ADDR) == 2
+    assert pred.predict(ADDR, num_waiters=10) is ResumeDecision.ONE
+
+
+def test_single_waiter_predicts_all(pred):
+    pred.record_update(ADDR, 1)
+    assert pred.predict(ADDR, num_waiters=1) is ResumeDecision.ALL
+
+
+def test_exactly_three_uniques_is_all(pred):
+    for v in (1, 2, 3):
+        pred.record_update(ADDR, v)
+    assert pred.predict(ADDR, num_waiters=2) is ResumeDecision.ALL
+
+
+def test_release_resets_filter(pred):
+    for v in range(1, 8):
+        pred.record_update(ADDR, v)
+    pred.release(ADDR)
+    assert pred.unique_updates(ADDR) == 0
+    pred.record_update(ADDR, 1)
+    pred.record_update(ADDR, 0)
+    assert pred.predict(ADDR, num_waiters=5) is ResumeDecision.ONE
+
+
+def test_distinct_addresses_do_not_interfere(pred):
+    a, b = 0x4000, 0x8000
+    for v in range(1, 10):
+        pred.record_update(a, v)
+    pred.record_update(b, 1)
+    assert pred.unique_updates(b) <= 2
+
+
+def test_prediction_counters(pred):
+    for v in range(1, 8):
+        pred.record_update(ADDR, v)
+    pred.predict(ADDR, 5)
+    pred.release(ADDR)
+    pred.record_update(ADDR, 1)
+    pred.predict(ADDR, 5)
+    assert pred.predictions_all == 1
+    assert pred.predictions_one == 1
+
+
+# -- stall-time predictor -----------------------------------------------------
+
+def test_stall_predictor_initial_value():
+    sp = StallTimePredictor(initial=2_000)
+    assert sp.predict() == 2_000
+
+
+def test_stall_predictor_converges_to_mean():
+    sp = StallTimePredictor()
+    for _ in range(100):
+        sp.record(5_000)
+    assert sp.predict() == pytest.approx(5_000, rel=0.01)
+    # predictions never exceed a few context-switch round-trips
+    for _ in range(1000):
+        sp.record(50_000)
+    assert sp.predict() == sp.max_stall
+
+
+def test_stall_predictor_clamps():
+    sp = StallTimePredictor(min_stall=500, max_stall=50_000)
+    for _ in range(10):
+        sp.record(5)
+    assert sp.predict() == 500
+    for _ in range(1000):
+        sp.record(10_000_000)
+    assert sp.predict() == 50_000
+
+
+def test_stall_predictor_running_mean():
+    sp = StallTimePredictor(initial=0)
+    sp.record(100)
+    sp.record(300)
+    assert sp.mean == pytest.approx(200)
+    assert sp.count == 2

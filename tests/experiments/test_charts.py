@@ -1,0 +1,58 @@
+"""Tests for ASCII bar-chart rendering."""
+
+from repro.experiments.charts import bar_chart
+from repro.experiments.report import ExperimentResult
+
+
+def make_result():
+    r = ExperimentResult(title="T", columns=["a", "b"])
+    r.add_row("x", a=1.0, b=10.0)
+    r.add_row("y", a=5.0, b=None)
+    r.notes.append("hello")
+    return r
+
+
+def test_linear_bars_proportional():
+    text = bar_chart(make_result(), width=20)
+    lines = {l.strip().split()[0]: l for l in text.splitlines() if "|" in l}
+    bars = {k: v.count("#") for k, v in lines.items() if "#" in v or "|" in v}
+    # b=10 (max) gets full width; a=1 gets ~1/10th
+    x_a = [l for l in text.splitlines() if l.strip().startswith("a")][0]
+    x_b = [l for l in text.splitlines() if l.strip().startswith("b")][0]
+    assert x_b.count("#") == 20
+    assert 1 <= x_a.count("#") <= 3
+
+
+def test_log_scale_compresses():
+    r = ExperimentResult(title="T", columns=["v"])
+    r.add_row("small", v=1.0)
+    r.add_row("mid", v=10.0)
+    r.add_row("big", v=100.0)
+    text = bar_chart(r, width=40, log=True)
+    lines = [l for l in text.splitlines() if "|" in l]
+    counts = [l.count("#") for l in lines]
+    # log spacing: roughly equal increments
+    assert counts[2] == 40
+    assert 0 <= counts[0] <= 2
+    assert abs(counts[1] - 20) <= 3
+    assert "(log scale" in text
+
+
+def test_none_cells_render_dash():
+    text = bar_chart(make_result())
+    assert "-" in text
+
+
+def test_non_numeric_result_falls_back():
+    r = ExperimentResult(title="T", columns=["v"])
+    r.add_row("x", v="DEADLOCK")
+    text = bar_chart(r)
+    assert "DEADLOCK" in text
+
+
+def test_notes_included():
+    assert "note: hello" in bar_chart(make_result())
+
+
+def test_values_shown():
+    assert "10.00" in bar_chart(make_result())

@@ -1,0 +1,28 @@
+"""Shared fixtures: tiny GPUs and kernel helpers for GPU-level tests."""
+
+import pytest
+
+from repro.core.policies import awg
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import Kernel
+
+
+def tiny_config(**overrides):
+    defaults = dict(num_cus=2, max_wgs_per_cu=2, deadlock_window=100_000,
+                    max_cycles=5_000_000)
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+def make_gpu(policy=None, **overrides):
+    return GPU(tiny_config(**overrides), policy or awg())
+
+
+def simple_kernel(body, grid_wgs=1, **kwargs):
+    return Kernel(name="test", body=body, grid_wgs=grid_wgs, **kwargs)
+
+
+@pytest.fixture
+def gpu():
+    return make_gpu()

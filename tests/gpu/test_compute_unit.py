@@ -1,0 +1,61 @@
+"""Unit tests for the compute-unit model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.config import GPUConfig
+from repro.sim.engine import Engine
+
+
+class _FakeWG:
+    def __init__(self, wg_id):
+        self.wg_id = wg_id
+
+
+@pytest.fixture
+def cu():
+    return ComputeUnit(Engine(), GPUConfig(max_wgs_per_cu=2), 0)
+
+
+def test_allocate_release(cu):
+    wg = _FakeWG(0)
+    assert cu.free_slots == 2
+    cu.allocate(wg)
+    assert cu.free_slots == 1
+    cu.release(wg)
+    assert cu.free_slots == 2
+
+
+def test_overallocation_raises(cu):
+    cu.allocate(_FakeWG(0))
+    cu.allocate(_FakeWG(1))
+    with pytest.raises(SimulationError):
+        cu.allocate(_FakeWG(2))
+
+
+def test_release_nonresident_raises(cu):
+    with pytest.raises(SimulationError):
+        cu.release(_FakeWG(0))
+
+
+def test_disable_removes_capacity(cu):
+    cu.allocate(_FakeWG(0))
+    cu.disable()
+    assert cu.free_slots == 0
+    assert not cu.has_slot()
+    cu.enable()
+    assert cu.free_slots == 1
+
+
+def test_simd_round_robin(cu):
+    picks = [cu.pick_simd() for _ in range(4)]
+    assert picks[0] is picks[2]
+    assert picks[1] is picks[3]
+    assert picks[0] is not picks[1]
+
+
+def test_simds_per_cu_config():
+    cu = ComputeUnit(Engine(), GPUConfig(simds_per_cu=4), 1)
+    assert len(cu.simds) == 4
+    assert cu.simds[0].name == "cu1.simd0"

@@ -1,0 +1,99 @@
+"""Tests for cooperative-groups-style static launches (§II.D)."""
+
+import pytest
+
+from repro.core.policies import awg, baseline
+from repro.errors import DeviceError
+from repro.gpu.cooperative import launch_cooperative
+from repro.sync.barrier import AtomicTreeBarrier
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+
+def barrier_kernel(gpu, wgs, group, episodes=2):
+    barrier = AtomicTreeBarrier(gpu, wgs, group)
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute(200)
+            yield from barrier.arrive(ctx, ctx.grid_index, ep)
+
+    return simple_kernel(body, grid_wgs=wgs)
+
+
+def test_oversized_grid_rejected():
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2)  # capacity 4
+    with pytest.raises(DeviceError):
+        launch_cooperative(gpu, barrier_kernel(gpu, 8, 4))
+
+
+def test_fitting_grid_dispatches_immediately():
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2)
+    handle = launch_cooperative(gpu, barrier_kernel(gpu, 4, 2))
+    out = gpu.run()
+    assert out.ok
+    assert handle.scheduling_delay == 0
+
+
+def test_cooperative_barrier_safe_even_for_busy_waiting():
+    """Static all-resident assignment makes busy-wait barriers safe —
+    the guarantee cooperative groups actually provide."""
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2)
+    handle = launch_cooperative(gpu, barrier_kernel(gpu, 4, 2, episodes=3))
+    out = gpu.run()
+    assert out.ok
+    assert handle.inner is not None
+
+
+def test_launch_waits_for_capacity():
+    """A cooperative launch queues behind running work until the whole
+    grid fits at once — the scheduling-delay cost the paper calls out."""
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+
+    def busy_body(ctx):
+        yield from ctx.compute(50_000)
+
+    gpu.launch(simple_kernel(busy_body, grid_wgs=3))  # occupies 3 of 4
+    gpu.env.run(until=100)  # let the busy kernel take its slots
+    handle = launch_cooperative(gpu, barrier_kernel(gpu, 4, 2))
+    out = gpu.run()
+    assert out.ok
+    assert handle.scheduling_delay is not None
+    assert handle.scheduling_delay >= 50_000  # waited for the busy kernel
+
+
+def test_awg_dynamic_launch_starts_immediately():
+    """The paper's §II.D complaint about cooperative groups: the launch
+    waits for the *whole* grid's resources, adding scheduling delay,
+    while AWG's dynamic allocation starts WGs with whatever is free —
+    the latency win for low-priority-kernel coexistence."""
+    def build(gpu):
+        def busy_body(ctx):
+            yield from ctx.compute(50_000)
+        gpu.launch(simple_kernel(busy_body, grid_wgs=3))
+        gpu.env.run(until=100)  # busy kernel becomes resident
+
+    first_start = {}
+
+    def probe_kernel(gpu, key):
+        def body(ctx):
+            first_start.setdefault(key, ctx.env.now)
+            yield from ctx.compute(1_000)
+        return simple_kernel(body, grid_wgs=4)
+
+    # cooperative: the grid cannot start until the busy kernel ends
+    gpu_c = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    build(gpu_c)
+    handle = launch_cooperative(gpu_c, probe_kernel(gpu_c, "coop"))
+    out_c = gpu_c.run()
+
+    # dynamic: the first WG starts on the single free slot right away
+    gpu_d = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    build(gpu_d)
+    gpu_d.launch(probe_kernel(gpu_d, "dynamic"))
+    out_d = gpu_d.run()
+
+    assert out_c.ok and out_d.ok
+    assert handle.scheduling_delay >= 50_000 - 100
+    assert first_start["dynamic"] < 5_000
+    assert first_start["coop"] >= 50_000

@@ -1,0 +1,129 @@
+"""Tests for priority kernel scheduling with whole-kernel preemption."""
+
+from repro.core.policies import awg, baseline
+from repro.gpu.kernel_scheduler import PriorityKernelScheduler
+from repro.sync.barrier import AtomicTreeBarrier
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+
+def compute_kernel(cycles, grid_wgs, name="bg"):
+    def body(ctx):
+        yield from ctx.compute(cycles)
+
+    k = simple_kernel(body, grid_wgs=grid_wgs)
+    k.name = name
+    return k
+
+
+def barrier_kernel(gpu, wgs, group, episodes=6, work=2_000, name="sync"):
+    barrier = AtomicTreeBarrier(gpu, wgs, group)
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute(work)
+            yield from barrier.arrive(ctx, ctx.grid_index, ep)
+
+    k = simple_kernel(body, grid_wgs=wgs)
+    k.name = name
+    return k
+
+
+def test_fitting_kernels_coexist():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    sched = PriorityKernelScheduler(gpu)
+    a = sched.launch(compute_kernel(5_000, 2, "a"), priority=0)
+    b = sched.launch(compute_kernel(5_000, 2, "b"), priority=5)
+    out = gpu.run()
+    assert out.ok
+    assert a.suspend_count == 0 and b.suspend_count == 0
+
+
+def test_high_priority_preempts_low():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    sched = PriorityKernelScheduler(gpu)
+    low = sched.launch(compute_kernel(100_000, 4, "low"), priority=0)
+    gpu.env.run(until=1_000)  # low becomes resident, machine full
+    hi = sched.launch(compute_kernel(3_000, 4, "hi"), priority=10)
+    out = gpu.run()
+    assert out.ok
+    assert low.suspend_count == 1
+    assert sched.status() == {"low": "done", "hi": "done"}
+    # the high-priority kernel finished long before the preempted one
+    assert gpu.stats.counter("ksched.resumptions").value == 1
+
+
+def test_high_priority_latency_benefit():
+    """Preemption starts the high-priority kernel immediately instead of
+    queueing behind the long-running low-priority kernel."""
+    done_at = {}
+
+    def probe(cycles, grid_wgs, key):
+        def body(ctx):
+            yield from ctx.compute(cycles)
+            done_at[key] = ctx.env.now
+
+        k = simple_kernel(body, grid_wgs=grid_wgs)
+        k.name = key
+        return k
+
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    sched = PriorityKernelScheduler(gpu)
+    sched.launch(probe(200_000, 4, "low"), priority=0)
+    gpu.env.run(until=1_000)
+    sched.launch(probe(3_000, 4, "hi"), priority=10)
+    out = gpu.run()
+    assert out.ok
+    # high-priority latency ~ its own runtime + context-switch costs,
+    # nowhere near the low kernel's 200k-cycle runtime
+    assert done_at["hi"] < 60_000
+    assert done_at["low"] > done_at["hi"]
+
+
+def test_lower_priority_kernel_is_not_preempted():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    sched = PriorityKernelScheduler(gpu)
+    hi = sched.launch(compute_kernel(20_000, 4, "hi"), priority=10)
+    gpu.env.run(until=1_000)
+    low = sched.launch(compute_kernel(2_000, 4, "low"), priority=0)
+    out = gpu.run()
+    assert out.ok
+    assert hi.suspend_count == 0  # the low launch waited instead
+
+
+def test_figure2_scenario_ifp_of_resumed_kernel():
+    """The paper's Figure 2, end to end: a synchronizing kernel is
+    preempted by a high-priority kernel and then resumed while *another*
+    kernel still holds half the machine — fewer slots than WGs. The
+    busy-waiting kernel makes no progress until the whole machine drains
+    (it would deadlock outright on an idle-forever co-tenant); AWG's
+    cooperative WG scheduling completes it immediately on the remaining
+    slots (§V.D: IFP for lower-priority kernels)."""
+
+    def run(policy):
+        gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=2,
+                       deadlock_window=150_000)
+        sched = PriorityKernelScheduler(gpu)
+        sync = sched.launch(barrier_kernel(gpu, 4, 2, name="sync"),
+                            priority=0)
+        gpu.env.run(until=2_000)  # barrier kernel resident and syncing
+        # a high-priority kernel arrives and takes the whole machine;
+        # a sibling medium-priority kernel keeps 2 slots occupied for a
+        # long time after the high one finishes
+        sched.launch(compute_kernel(5_000, 2, "hi"), priority=10)
+        sched.launch(compute_kernel(400_000, 2, "medium"), priority=5)
+        out = gpu.run()
+        return out, sync
+
+    out_base, sync_base = run(baseline())
+    assert out_base.ok
+    # busy-waiting: the resumed sync kernel is gated on the medium
+    # kernel's entire 400k-cycle lifetime
+    assert sync_base.completed_at > 390_000
+
+    out_awg, sync_awg = run(awg())
+    assert out_awg.ok
+    # AWG: the sync kernel finishes while the medium kernel is still
+    # running, rotating its 4 WGs through the 2 free slots
+    assert sync_awg.completed_at < 150_000
+    assert sync_awg.completed_at < sync_base.completed_at / 3

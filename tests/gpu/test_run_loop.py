@@ -1,0 +1,84 @@
+"""Run-loop semantics: completion holds, re-entrance, end-of-run drain."""
+
+import pytest
+
+from repro.core.policies import awg
+from repro.errors import SimulationError
+from repro.sim.events import AllOf
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+
+def test_completion_hold_keeps_run_alive(gpu):
+    fired = []
+
+    def body(ctx):
+        yield from ctx.compute(10)
+
+    def release():
+        fired.append(gpu.env.now)
+        gpu.release_completion()
+
+    gpu.hold_completion()
+    gpu.launch(simple_kernel(body))
+    # release the hold (and launch nothing further) at t=5000
+    gpu.env.call_at(5_000, release)
+    out = gpu.run()
+    assert out.ok
+    assert fired == [5_000]
+    assert out.cycles >= 5_000
+
+
+def test_unreleased_hold_becomes_no_events_deadlock(gpu):
+    def body(ctx):
+        yield from ctx.compute(10)
+
+    gpu.hold_completion()
+    gpu.launch(simple_kernel(body))
+    out = gpu.run()
+    # CP ticks keep the heap alive until max_cycles... cap it small
+    assert out.deadlocked
+
+
+def test_kernel_allof_fires_before_run_returns(gpu):
+    done = []
+
+    def body(ctx):
+        yield from ctx.compute(100)
+
+    launch = gpu.launch(simple_kernel(body, grid_wgs=3))
+    AllOf(gpu.env, [gpu.wgs[i].done_event for i in launch.wg_ids]) \
+        .add_callback(lambda _ev: done.append(gpu.env.now))
+    out = gpu.run()
+    assert out.ok
+    assert done  # drained at end of run
+
+
+def test_engine_reentrant_run_rejected():
+    from repro.sim.engine import Engine
+
+    env = Engine()
+    caught = []
+
+    def nested(_ev):
+        try:
+            env.run()
+        except SimulationError:
+            caught.append(True)
+
+    env.timeout(5).add_callback(nested)
+    env.run()
+    assert caught == [True]
+
+
+def test_second_run_call_continues(gpu):
+    """run() can be called again after new work is launched."""
+    def body(ctx):
+        yield from ctx.compute(100)
+
+    gpu.launch(simple_kernel(body))
+    assert gpu.run().ok
+    gpu.launch(simple_kernel(body))
+    out = gpu.run()
+    assert out.ok
+    assert gpu.finished_wgs == 2

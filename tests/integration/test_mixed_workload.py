@@ -1,0 +1,82 @@
+"""Stress: a kernel mixing mutexes, barriers and data exchange, under
+every policy and under mid-run resource loss for the IFP ones.
+
+Each episode: every WG bumps a mutex-protected accumulator (non-atomic
+RMW inside the critical section), then joins a grid-wide barrier, then
+verifies the accumulator advanced by exactly the grid size — a combined
+exactness check of mutual exclusion AND barrier ordering.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    awg, baseline, minresume, monnr_all, monnr_one, monr_all, monrs_all,
+    sleep, timeout,
+)
+from repro.gpu.preemption import ResourceLossEvent
+from repro.sync.barrier import AtomicTreeBarrier
+from repro.sync.mutex import FAMutex
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+POLICIES = [
+    baseline(), sleep(4_000), timeout(8_000), monrs_all(backstop=40_000),
+    monr_all(backstop=40_000), monnr_all(), monnr_one(straggler_timeout=8_000),
+    minresume(), awg(),
+]
+
+
+def mixed_kernel(gpu, wgs, group, episodes):
+    mutex = FAMutex(gpu)
+    barrier = AtomicTreeBarrier(gpu, wgs, group)
+    acc = gpu.malloc(4, align=64)
+    violations = []
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute(150 + (ctx.grid_index * 29) % 250)
+            token = yield from mutex.acquire(ctx)
+            v = yield from ctx.load(acc)
+            yield from ctx.compute(40)
+            yield from ctx.store(acc, v + 1)
+            yield from mutex.release(ctx, token)
+            yield from barrier.arrive(ctx, ctx.grid_index, 2 * ep)
+            # after the barrier, the accumulator must hold exactly
+            # (ep+1) * wgs — every WG checks it, then a second barrier
+            # keeps anyone from racing ahead into the next episode
+            seen = yield from ctx.load(acc)
+            if seen != (ep + 1) * wgs:
+                violations.append((ctx.grid_index, ep, seen))
+            yield from barrier.arrive(ctx, ctx.grid_index, 2 * ep + 1)
+
+    kernel = simple_kernel(body, grid_wgs=wgs)
+    return kernel, acc, violations
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_mixed_workload_exact(policy):
+    wgs, group, episodes = 8, 4, 2
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4)
+    kernel, acc, violations = mixed_kernel(gpu, wgs, group, episodes)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.ok, (policy.name, out.reason)
+    assert violations == [], policy.name
+    assert gpu.store.read(acc) == wgs * episodes
+
+
+@pytest.mark.parametrize("policy", [timeout(8_000), monnr_all(),
+                                    monnr_one(straggler_timeout=8_000),
+                                    awg()],
+                         ids=lambda p: p.name)
+def test_mixed_workload_survives_resource_loss(policy):
+    wgs, group, episodes = 8, 4, 3
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4,
+                   deadlock_window=250_000)
+    kernel, acc, violations = mixed_kernel(gpu, wgs, group, episodes)
+    ResourceLossEvent(at_us=3, cu_id=1).schedule(gpu)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.ok, (policy.name, out.reason)
+    assert violations == [], policy.name
+    assert gpu.store.read(acc) == wgs * episodes

@@ -1,0 +1,121 @@
+"""Unit tests for the set-associative cache tag model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache
+
+
+def small_cache(assoc=2, sets=4):
+    return Cache("t", size_bytes=assoc * sets * 64, assoc=assoc,
+                 block_bytes=64)
+
+
+def test_size_must_divide():
+    with pytest.raises(ConfigError):
+        Cache("bad", size_bytes=1000, assoc=3, block_bytes=64)
+
+
+def test_first_access_misses_then_hits():
+    c = small_cache()
+    assert c.access(0x1000) is False
+    assert c.access(0x1000) is True
+    assert c.stats.hits == 1 and c.stats.misses == 1
+
+
+def test_same_block_hits():
+    c = small_cache()
+    c.access(0x1000)
+    assert c.access(0x1000 + 60) is True  # same 64 B block
+
+
+def test_lru_eviction():
+    c = small_cache(assoc=2, sets=1)
+    a, b, d = 0x0, 0x40, 0x80  # all map to set 0 (1 set)
+    c.access(a)
+    c.access(b)
+    c.access(a)  # a is now MRU
+    c.access(d)  # evicts b (LRU)
+    assert c.contains(a)
+    assert not c.contains(b)
+    assert c.contains(d)
+    assert c.stats.evictions == 1
+
+
+def test_set_mapping_disjoint():
+    c = small_cache(assoc=1, sets=4)
+    # blocks 0..3 map to different sets: no evictions
+    for i in range(4):
+        c.access(i * 64)
+    assert c.stats.evictions == 0
+    assert all(c.contains(i * 64) for i in range(4))
+
+
+def test_invalidate():
+    c = small_cache()
+    c.access(0x1000)
+    assert c.invalidate(0x1000) is True
+    assert not c.contains(0x1000)
+    assert c.invalidate(0x1000) is False
+
+
+def test_monitored_line_is_pinned_against_eviction():
+    c = small_cache(assoc=2, sets=1)
+    c.set_monitored(0x0, True)
+    c.access(0x40)
+    c.access(0x80)  # would evict 0x0 under LRU; must pick 0x40 instead
+    assert c.contains(0x0)
+    assert c.is_monitored(0x0)
+
+
+def test_monitored_line_cannot_be_invalidated():
+    c = small_cache()
+    c.set_monitored(0x0, True)
+    assert c.invalidate(0x0) is False
+    assert c.contains(0x0)
+
+
+def test_clearing_monitored_unpins():
+    c = small_cache(assoc=2, sets=1)
+    c.set_monitored(0x0, True)
+    c.set_monitored(0x0, False)
+    assert not c.is_monitored(0x0)
+    c.access(0x40)
+    c.access(0x80)
+    c.access(0xC0)
+    assert not c.contains(0x0) or c.stats.evictions > 0
+
+
+def test_set_monitored_allocates_missing_line():
+    c = small_cache()
+    assert not c.contains(0x2000)
+    c.set_monitored(0x2000, True)
+    assert c.contains(0x2000)
+    assert c.is_monitored(0x2000)
+
+
+def test_fully_pinned_set_bypasses_allocation():
+    c = small_cache(assoc=2, sets=1)
+    c.set_monitored(0x0, True)
+    c.set_monitored(0x40, True)
+    # the set is fully pinned: new accesses miss without allocating
+    assert c.access(0x80) is False
+    assert not c.contains(0x80)
+    assert c.contains(0x0) and c.contains(0x40)
+
+
+def test_monitored_overhead_bits():
+    c = small_cache(assoc=2, sets=4)
+    assert c.monitored_overhead_bits() == 8  # one bit per way
+
+    # paper configuration: 512 KB, 16-way, 64 B -> 8192 tags = 1 KB
+    l2 = Cache("l2", 512 * 1024, 16, 64)
+    assert l2.monitored_overhead_bits() == 8192
+
+
+def test_hit_rate():
+    c = small_cache()
+    c.access(0x0)
+    c.access(0x0)
+    c.access(0x0)
+    assert c.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,79 @@
+"""Property-based tests for the backing store and atomic ALU."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import atomics
+from repro.mem.atomics import AtomicOp
+from repro.mem.backing import BackingStore, wrap32
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), i32), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_store_reads_last_write(writes):
+    store = BackingStore()
+    base = store.alloc(64 * 4)
+    model = {}
+    for slot, value in writes:
+        store.write(base + slot * 4, value)
+        model[slot] = wrap32(value)
+    for slot, value in model.items():
+        assert store.read(base + slot * 4) == value
+
+
+@given(i32, i32)
+@settings(max_examples=100, deadline=None)
+def test_add_matches_twos_complement(a, b):
+    store = BackingStore()
+    addr = store.alloc(4)
+    store.write(addr, a)
+    res = atomics.execute(store, AtomicOp.ADD, addr, b)
+    assert res.old == wrap32(a)
+    assert res.new == wrap32(a + b)
+    assert -(2**31) <= res.new < 2**31
+
+
+@given(st.lists(st.sampled_from(list(AtomicOp)), max_size=30),
+       st.lists(i32, min_size=30, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_atomic_sequence_matches_reference_model(ops, operands):
+    """Run a random atomic sequence against a pure-Python reference."""
+    store = BackingStore()
+    addr = store.alloc(4)
+    ref = 0
+    for op, operand in zip(ops, operands):
+        res = atomics.execute(store, op, addr, operand, operand2=operand // 2)
+        assert res.old == ref
+        if op is AtomicOp.LOAD:
+            new = ref
+        elif op in (AtomicOp.STORE, AtomicOp.EXCH):
+            new = wrap32(operand)
+        elif op is AtomicOp.ADD:
+            new = wrap32(ref + operand)
+        elif op is AtomicOp.SUB:
+            new = wrap32(ref - operand)
+        elif op is AtomicOp.CAS:
+            new = wrap32(operand // 2) if ref == wrap32(operand) else ref
+        elif op is AtomicOp.MAX:
+            new = max(ref, wrap32(operand))
+        elif op is AtomicOp.MIN:
+            new = min(ref, wrap32(operand))
+        elif op is AtomicOp.OR:
+            new = wrap32(ref | operand)
+        else:
+            new = wrap32(ref & operand)
+        assert res.new == new
+        assert store.read(addr) == new
+        ref = new
+
+
+@given(st.integers(1, 64), st.sampled_from([4, 8, 16, 32, 64, 128]))
+@settings(max_examples=60, deadline=None)
+def test_alloc_alignment_and_disjointness(nwords, align):
+    store = BackingStore()
+    a = store.alloc(nwords * 4, align=align)
+    b = store.alloc(nwords * 4, align=align)
+    assert a % align == 0 and b % align == 0
+    assert b >= a + nwords * 4

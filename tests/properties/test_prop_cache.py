@@ -1,0 +1,55 @@
+"""Property-based tests for the cache tag model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache
+
+addrs = st.integers(0, 1 << 20).map(lambda a: a & ~3)
+
+
+def make_cache(assoc, sets):
+    return Cache("p", size_bytes=assoc * sets * 64, assoc=assoc,
+                 block_bytes=64)
+
+
+@given(st.lists(addrs, max_size=200), st.sampled_from([1, 2, 4]),
+       st.sampled_from([2, 4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_occupancy_never_exceeds_capacity(seq, assoc, sets):
+    c = make_cache(assoc, sets)
+    for a in seq:
+        c.access(a)
+        occupancy = sum(len(ways) for ways in c._sets)
+        assert occupancy <= assoc * sets
+        assert all(len(ways) <= assoc for ways in c._sets)
+
+
+@given(st.lists(addrs, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_repeat_access_always_hits(seq):
+    c = make_cache(4, 8)
+    for a in seq:
+        c.access(a)
+        assert c.access(a) is True  # immediate re-access must hit
+
+
+@given(st.lists(addrs, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_hits_plus_misses_equals_accesses(seq):
+    c = make_cache(2, 4)
+    for a in seq:
+        c.access(a)
+    assert c.stats.accesses == len(seq)
+
+
+@given(st.lists(addrs, min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_monitored_lines_survive_any_traffic(seq):
+    c = make_cache(2, 2)
+    pinned = seq[0]
+    c.set_monitored(pinned, True)
+    for a in seq[1:]:
+        c.access(a)
+    assert c.is_monitored(pinned)
+    assert c.contains(pinned)

@@ -1,0 +1,76 @@
+"""Property-based end-to-end tests: mutual exclusion and barrier safety
+hold under randomized workload shapes and policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import awg, baseline, monnr_all, monnr_one, timeout
+from repro.sync.barrier import AtomicTreeBarrier
+from repro.sync.mutex import FAMutex, SleepMutex, SpinMutex
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+policies = st.sampled_from([baseline, timeout, monnr_all, monnr_one, awg])
+mutex_kinds = st.sampled_from(["spin", "fa", "sleep"])
+
+
+def build_mutex(kind, gpu, wgs):
+    if kind == "spin":
+        return SpinMutex(gpu)
+    if kind == "fa":
+        return FAMutex(gpu)
+    return SleepMutex(gpu, queue_slots=wgs + 2)
+
+
+@given(
+    policy=policies,
+    kind=mutex_kinds,
+    wgs=st.integers(2, 8),
+    iterations=st.integers(1, 3),
+    work=st.lists(st.integers(0, 500), min_size=8, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_no_lost_updates(policy, kind, wgs, iterations, work):
+    gpu = make_gpu(policy(), num_cus=2, max_wgs_per_cu=4)
+    mutex = build_mutex(kind, gpu, wgs)
+    data = gpu.malloc(4, align=64)
+
+    def body(ctx):
+        for it in range(iterations):
+            yield from ctx.compute(work[ctx.wg_id % len(work)] + it * 13)
+            token = yield from mutex.acquire(ctx)
+            v = yield from ctx.load(data)
+            yield from ctx.compute(30)
+            yield from ctx.store(data, v + 1)
+            yield from mutex.release(ctx, token)
+            ctx.progress("cs")
+
+    gpu.launch(simple_kernel(body, grid_wgs=wgs))
+    out = gpu.run()
+    assert out.ok, (policy().name, kind, out.reason)
+    assert gpu.store.read(data) == wgs * iterations
+
+
+@given(
+    policy=policies,
+    groups=st.integers(1, 3),
+    group_size=st.integers(2, 4),
+    episodes=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_barrier_never_loses_a_wg(policy, groups, group_size, episodes):
+    wgs = groups * group_size
+    gpu = make_gpu(policy(), num_cus=2, max_wgs_per_cu=max(4, wgs // 2 + 1))
+    barrier = AtomicTreeBarrier(gpu, wgs, group_size)
+    stamps = gpu.alloc_sync_vars(wgs)
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute((ctx.wg_id * 37 + ep * 11) % 400)
+            yield from barrier.arrive(ctx, ctx.wg_id, ep)
+            yield from ctx.store(stamps[ctx.wg_id], ep + 1)
+
+    gpu.launch(simple_kernel(body, grid_wgs=wgs))
+    out = gpu.run()
+    assert out.ok, (policy().name, out.reason)
+    assert all(gpu.store.read(a) == episodes for a in stamps)

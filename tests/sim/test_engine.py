@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_timeout_advances_clock():
+    env = Engine()
+    env.timeout(10)
+    env.run()
+    assert env.now == 10
+
+
+def test_events_fire_in_time_order():
+    env = Engine()
+    order = []
+    env.timeout(30).add_callback(lambda e: order.append(30))
+    env.timeout(10).add_callback(lambda e: order.append(10))
+    env.timeout(20).add_callback(lambda e: order.append(20))
+    env.run()
+    assert order == [10, 20, 30]
+
+
+def test_same_cycle_events_fire_fifo():
+    env = Engine()
+    order = []
+    for i in range(5):
+        env.timeout(7).add_callback(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    env = Engine()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_stops_early():
+    env = Engine()
+    fired = []
+    env.timeout(5).add_callback(lambda e: fired.append(5))
+    env.timeout(50).add_callback(lambda e: fired.append(50))
+    env.run(until=10)
+    assert fired == [5]
+    assert env.now == 10
+
+
+def test_run_until_resumes():
+    env = Engine()
+    fired = []
+    env.timeout(50).add_callback(lambda e: fired.append(50))
+    env.run(until=10)
+    env.run()
+    assert fired == [50]
+    assert env.now == 50
+
+
+def test_run_returns_event_count():
+    env = Engine()
+    for i in range(4):
+        env.timeout(i + 1)
+    assert env.run() == 4
+
+
+def test_run_max_events():
+    env = Engine()
+    for i in range(10):
+        env.timeout(i + 1)
+    assert env.run(max_events=3) == 3
+
+
+def test_peek_skips_cancelled_events():
+    env = Engine()
+    ev = env.timeout(5)
+    env.timeout(9)
+    ev.cancel()
+    assert env.peek() == 9
+
+
+def test_peek_empty_returns_none():
+    assert Engine().peek() is None
+
+
+def test_step_returns_false_when_idle():
+    assert Engine().step() is False
+
+
+def test_call_at_runs_callable():
+    env = Engine()
+    seen = []
+    env.call_at(12, lambda: seen.append(env.now))
+    env.run()
+    assert seen == [12]
+
+
+def test_cancelled_event_never_fires():
+    env = Engine()
+    fired = []
+    ev = env.timeout(5)
+    ev.add_callback(lambda e: fired.append(1))
+    ev.cancel()
+    env.run()
+    assert fired == []
+
+
+def test_scheduling_during_callback():
+    env = Engine()
+    order = []
+
+    def chain(_ev):
+        order.append(env.now)
+        if env.now < 30:
+            env.timeout(10).add_callback(chain)
+
+    env.timeout(10).add_callback(chain)
+    env.run()
+    assert order == [10, 20, 30]
+
+
+def test_event_scheduled_twice_raises():
+    env = Engine()
+    ev = Event(env)
+    env.schedule(ev, 1)
+    with pytest.raises(SimulationError):
+        env.schedule(ev, 2)
+
+
+def test_pending_events_counts_live_only():
+    env = Engine()
+    a = env.timeout(1)
+    env.timeout(2)
+    a.cancel()
+    assert env.pending_events() == 1

@@ -1,0 +1,121 @@
+"""Unit tests for events and composite events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, first_of
+
+
+@pytest.fixture
+def env():
+    return Engine()
+
+
+def test_event_value_before_fire_raises(env):
+    ev = Event(env)
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_succeed_carries_value(env):
+    ev = Event(env)
+    ev.succeed("payload")
+    env.run()
+    assert ev.fired and ev.value == "payload"
+
+
+def test_try_succeed_idempotent(env):
+    ev = Event(env)
+    assert ev.try_succeed(1) is True
+    assert ev.try_succeed(2) is False
+    env.run()
+    assert ev.value == 1
+
+
+def test_callback_after_fire_runs_immediately(env):
+    ev = Event(env)
+    ev.succeed(7)
+    env.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == [7]
+
+
+def test_cancel_fired_event_raises(env):
+    ev = Event(env)
+    ev.succeed()
+    env.run()
+    with pytest.raises(SimulationError):
+        ev.cancel()
+
+
+def test_timeout_event_fires_with_value(env):
+    ev = Timeout(env, 5, value="x")
+    env.run()
+    assert env.now == 5 and ev.value == "x"
+
+
+def test_anyof_fires_on_first_child(env):
+    slow = env.timeout(100, value="slow")
+    fast = env.timeout(3, value="fast")
+    any_ev = AnyOf(env, [slow, fast])
+    env.run(until=50)
+    assert any_ev.fired
+    assert any_ev.value == (1, "fast")
+    assert any_ev.winner() == 1
+
+
+def test_anyof_ignores_later_children(env):
+    a = env.timeout(1, value="a")
+    b = env.timeout(2, value="b")
+    any_ev = AnyOf(env, [a, b])
+    env.run()
+    assert any_ev.value == (0, "a")
+    assert b.fired  # loser still fires harmlessly
+
+
+def test_anyof_empty_raises(env):
+    with pytest.raises(SimulationError):
+        AnyOf(env, [])
+
+
+def test_anyof_with_already_fired_child(env):
+    ev = Event(env)
+    ev.succeed("done")
+    env.run()
+    any_ev = AnyOf(env, [ev, env.timeout(10)])
+    env.run(until=5)
+    assert any_ev.fired and any_ev.winner() == 0
+
+
+def test_allof_collects_values_in_child_order(env):
+    a = env.timeout(20, value="a")
+    b = env.timeout(10, value="b")
+    all_ev = AllOf(env, [a, b])
+    env.run()
+    assert all_ev.fired
+    assert all_ev.value == ["a", "b"]
+
+
+def test_allof_empty_fires_immediately(env):
+    all_ev = AllOf(env, [])
+    env.run()
+    assert all_ev.fired and all_ev.value == []
+
+
+def test_allof_waits_for_slowest(env):
+    a = env.timeout(5)
+    b = env.timeout(50)
+    all_ev = AllOf(env, [a, b])
+    env.run(until=10)
+    assert not all_ev.fired
+    env.run()
+    assert all_ev.fired
+
+
+def test_first_of_skips_none(env):
+    ev = env.timeout(3, value="v")
+    any_ev = first_of(env, None, ev, None)
+    env.run()
+    assert any_ev.value == (0, "v")

@@ -1,0 +1,177 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import AnyOf
+from repro.sim.process import Interrupt, Process
+
+
+@pytest.fixture
+def env():
+    return Engine()
+
+
+def test_process_runs_and_returns(env):
+    def gen():
+        yield env.timeout(5)
+        yield env.timeout(7)
+        return "done"
+
+    proc = Process(env, gen())
+    env.run()
+    assert proc.fired
+    assert proc.value == "done"
+    assert env.now == 12
+
+
+def test_yield_receives_event_value(env):
+    got = []
+
+    def gen():
+        v = yield env.timeout(3, value=42)
+        got.append(v)
+
+    Process(env, gen())
+    env.run()
+    assert got == [42]
+
+
+def test_process_is_waitable_event(env):
+    def child():
+        yield env.timeout(10)
+        return "child-result"
+
+    def parent():
+        result = yield Process(env, child())
+        return f"got:{result}"
+
+    parent_proc = Process(env, parent())
+    env.run()
+    assert parent_proc.value == "got:child-result"
+
+
+def test_yield_from_subgenerator(env):
+    def sub():
+        yield env.timeout(4)
+        return 99
+
+    def gen():
+        v = yield from sub()
+        return v + 1
+
+    proc = Process(env, gen())
+    env.run()
+    assert proc.value == 100
+
+
+def test_yield_non_event_raises(env):
+    def gen():
+        yield 42
+
+    Process(env, gen())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_non_generator_rejected(env):
+    with pytest.raises(SimulationError):
+        Process(env, lambda: None)
+
+
+def test_interrupt_thrown_at_wait_point(env):
+    caught = []
+
+    def gen():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+        return "recovered"
+
+    proc = Process(env, gen())
+    env.run(until=5)
+    proc.interrupt(cause="preempt")
+    env.run()
+    assert caught == ["preempt"]
+    assert proc.value == "recovered"
+
+
+def test_interrupt_after_completion_is_noop(env):
+    def gen():
+        yield env.timeout(1)
+
+    proc = Process(env, gen())
+    env.run()
+    proc.interrupt()  # must not raise
+    env.run()
+    assert proc.fired
+
+
+def test_unhandled_interrupt_terminates_quietly(env):
+    def gen():
+        yield env.timeout(1000)
+
+    proc = Process(env, gen())
+    env.run(until=1)
+    proc.interrupt()
+    env.run()
+    assert proc.fired and proc.value is None
+
+
+def test_stale_event_after_interrupt_ignored(env):
+    """The event the process was waiting on fires after the interrupt;
+    the process must not be resumed twice."""
+    resumes = []
+
+    def gen():
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            resumes.append("interrupted")
+        yield env.timeout(100)
+        resumes.append("end")
+
+    Process(env, gen())
+    env.run(until=5)
+    # interrupt before the timeout(10) fires; the timeout still fires later
+    # (after the process already moved on) and must be ignored.
+
+
+def test_anyof_in_process(env):
+    def gen():
+        idx, value = yield AnyOf(env, [env.timeout(50, "slow"),
+                                       env.timeout(5, "fast")])
+        return (idx, value)
+
+    proc = Process(env, gen())
+    env.run()
+    assert proc.value == (1, "fast")
+
+
+def test_two_processes_interleave(env):
+    trace = []
+
+    def worker(name, delay):
+        for _ in range(3):
+            yield env.timeout(delay)
+            trace.append((env.now, name))
+
+    Process(env, worker("a", 10))
+    Process(env, worker("b", 15))
+    env.run()
+    # at t=30 both are due; b's event was scheduled first (at t=15) so it
+    # fires first (FIFO within a cycle)
+    assert trace == [(10, "a"), (15, "b"), (20, "a"), (30, "b"), (30, "a"),
+                     (45, "b")]
+
+
+def test_immediate_return(env):
+    def gen():
+        return "instant"
+        yield  # pragma: no cover
+
+    proc = Process(env, gen())
+    env.run()
+    assert proc.value == "instant"

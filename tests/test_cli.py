@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig14" in out
+    assert "SPM_G" in out
+    assert "awg" in out
+
+
+def test_experiment_registry_covers_all_artifacts():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "fig5", "fig7", "fig8", "fig9", "fig11",
+        "fig13", "fig14", "fig15",
+    }
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    assert "Compute Units" in capsys.readouterr().out
+
+
+def test_fig5_command(capsys):
+    assert main(["fig5", "--quick"]) == 0
+    assert "context KB" in capsys.readouterr().out
+
+
+def test_run_command(capsys):
+    assert main(["run", "SPM_G", "awg", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "completed" in out
+    assert "cycles" in out
+
+
+def test_run_command_needs_two_args():
+    with pytest.raises(SystemExit):
+        main(["run", "SPM_G"])
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_run_unknown_policy():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError):
+        main(["run", "SPM_G", "bogus", "--quick"])

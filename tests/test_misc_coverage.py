@@ -1,0 +1,82 @@
+"""Small coverage tests for utility surfaces."""
+
+from repro.core.policies import awg
+from repro.gpu.preemption import ResourceRestoreEvent
+from repro.sync.mutex import SpinMutex
+
+from tests.gpu.conftest import make_gpu, simple_kernel
+
+
+def test_resource_restore_event_standalone():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=1)
+    gpu.cus[1].disable()
+
+    def body(ctx):
+        yield from ctx.compute(30_000)
+
+    gpu.launch(simple_kernel(body, grid_wgs=2))
+    ResourceRestoreEvent(at_us=5.0, cu_id=1).schedule(gpu)
+    out = gpu.run()
+    assert out.ok
+    assert gpu.cus[1].enabled
+    # the second WG ran on the re-enabled CU instead of queueing
+    assert gpu.cus[1].wgs_dispatched >= 1
+
+
+def test_spin_mutex_locked_inspection():
+    gpu = make_gpu(awg())
+    mutex = SpinMutex(gpu)
+    assert not mutex.locked()
+    holder = {}
+
+    def body(ctx):
+        token = yield from mutex.acquire(ctx)
+        holder["locked_inside"] = mutex.locked()
+        yield from mutex.release(ctx, token)
+
+    gpu.launch(simple_kernel(body))
+    assert gpu.run().ok
+    assert holder["locked_inside"] is True
+    assert not mutex.locked()
+
+
+def test_outcome_ok_semantics():
+    from repro.gpu.gpu import RunOutcome
+
+    good = RunOutcome(completed=True, deadlocked=False, cycles=1,
+                      reason="completed")
+    bad = RunOutcome(completed=False, deadlocked=True, cycles=1,
+                     reason="watchdog")
+    assert good.ok and not bad.ok
+
+
+def test_scenario_params_roundtrip():
+    from repro.experiments.runner import PAPER_SCALE
+
+    params = PAPER_SCALE.params()
+    assert params.total_wgs == PAPER_SCALE.total_wgs
+    assert params.wgs_per_group == PAPER_SCALE.wgs_per_group
+    cfg = PAPER_SCALE.config(l2_banks=4)
+    assert cfg.l2_banks == 4
+    assert cfg.max_wgs_per_cu == PAPER_SCALE.max_wgs_per_cu
+
+
+def test_worker_body_runs_iterations():
+    from repro.workloads.heterosync import make_worker_body
+
+    gpu = make_gpu(awg())
+    worker = make_worker_body(iterations=3, work_cycles=50)
+    joined = []
+
+    def master(ctx):
+        for _ in range(3):
+            yield from ctx.compute(50)
+            yield from ctx.syncthreads()
+        joined.append("master")
+
+    kernel = simple_kernel(master, grid_wgs=1, wavefronts_per_wg=2,
+                           worker_body=lambda ctx: worker(ctx))
+    gpu.launch(kernel)
+    assert gpu.run().ok
+    assert joined == ["master"]
+    assert gpu.wgs[0].lds  # the worker wrote its LDS slots

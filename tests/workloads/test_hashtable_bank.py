@@ -1,0 +1,58 @@
+"""Tests for the hash-table and bank-account application workloads."""
+
+import pytest
+
+from repro.core.policies import awg, baseline, monnr_one
+from repro.workloads.bank import build_bank_account_kernel
+from repro.workloads.hashtable import build_hash_table_kernel
+
+from tests.gpu.conftest import make_gpu
+
+
+@pytest.mark.parametrize("policy", [baseline(), monnr_one(), awg()],
+                         ids=lambda p: p.name)
+def test_hash_table_exact_occupancy(policy):
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4)
+    k = build_hash_table_kernel(gpu, total_wgs=8, buckets=4, inserts_per_wg=3)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, out.reason
+    k.args["validate"](gpu)
+    total = sum(gpu.store.read(a) for a in k.args["counts"])
+    assert total == 24
+
+
+@pytest.mark.parametrize("policy", [baseline(), monnr_one(), awg()],
+                         ids=lambda p: p.name)
+def test_bank_conserves_money(policy):
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4)
+    k = build_bank_account_kernel(gpu, total_wgs=8, accounts=4,
+                                  transfers_per_wg=3)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, out.reason
+    k.args["validate"](gpu)
+
+
+def test_bank_deterministic_plans():
+    g1 = make_gpu()
+    g2 = make_gpu()
+    k1 = build_bank_account_kernel(g1, total_wgs=4, seed=9)
+    k2 = build_bank_account_kernel(g2, total_wgs=4, seed=9)
+    g1.launch(k1)
+    g2.launch(k2)
+    assert g1.run().cycles == g2.run().cycles
+    b1 = [g1.store.read(a) for a in k1.args["balances"]]
+    b2 = [g2.store.read(a) for a in k2.args["balances"]]
+    assert b1 == b2
+
+
+def test_bank_balances_move():
+    gpu = make_gpu(awg())
+    k = build_bank_account_kernel(gpu, total_wgs=8, accounts=4,
+                                  transfers_per_wg=4, initial_balance=1000)
+    gpu.launch(k)
+    assert gpu.run().ok
+    balances = [gpu.store.read(a) for a in k.args["balances"]]
+    assert balances != [1000] * 4  # transfers actually happened
+    assert sum(balances) == 4000

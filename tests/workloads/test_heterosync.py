@@ -1,0 +1,49 @@
+"""Integration tests: each benchmark runs and validates at quick scale."""
+
+import pytest
+
+from repro.core.policies import awg, baseline
+from repro.workloads.registry import benchmark_names, build_benchmark
+
+from tests.gpu.conftest import make_gpu
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_completes_and_validates_under_awg(name):
+    gpu = make_gpu(awg(), num_cus=4, max_wgs_per_cu=2)
+    k = build_benchmark(name, gpu, total_wgs=8, wgs_per_group=4,
+                        iterations=2, episodes=2)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, out.reason
+    k.args["validate"](gpu)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_benchmark_completes_under_baseline_nonoversubscribed(name):
+    gpu = make_gpu(baseline(), num_cus=4, max_wgs_per_cu=2)
+    k = build_benchmark(name, gpu, total_wgs=8, wgs_per_group=4,
+                        iterations=2, episodes=2)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, out.reason
+    k.args["validate"](gpu)
+
+
+def test_benchmarks_make_progress_events():
+    gpu = make_gpu(awg(), num_cus=4, max_wgs_per_cu=2)
+    k = build_benchmark("FAM_G", gpu, total_wgs=8, wgs_per_group=4,
+                        iterations=2)
+    gpu.launch(k)
+    assert gpu.run().ok
+    assert gpu.stats.counter("progress.mutex_acquire").value == 16
+    assert gpu.stats.counter("progress.cs_complete").value == 16
+
+
+def test_barrier_episode_progress():
+    gpu = make_gpu(awg(), num_cus=4, max_wgs_per_cu=2)
+    k = build_benchmark("TB_LG", gpu, total_wgs=8, wgs_per_group=4,
+                        episodes=3)
+    gpu.launch(k)
+    assert gpu.run().ok
+    assert gpu.stats.counter("progress.barrier_episode").value == 24

@@ -1,0 +1,64 @@
+"""The benchmark suite with multiple wavefronts per WG.
+
+Exercises the master-thread idiom with real worker wavefronts: workers
+compute and join ``__syncthreads`` while the master synchronizes; the
+WG-granular waiting machinery (gates, context switches) must carry the
+workers along.
+"""
+
+import pytest
+
+from repro.core.policies import awg, baseline, monnr_one
+from repro.gpu.preemption import ResourceLossEvent
+from repro.workloads.registry import build_benchmark
+
+from tests.gpu.conftest import make_gpu
+
+
+@pytest.mark.parametrize("name", ["SPM_G", "FAM_G", "SLM_G", "TB_LG",
+                                  "LFTB_LG"])
+@pytest.mark.parametrize("policy", [baseline(), monnr_one(), awg()],
+                         ids=lambda p: p.name)
+def test_multi_wavefront_benchmarks_validate(name, policy):
+    gpu = make_gpu(policy, num_cus=2, max_wgs_per_cu=4)
+    k = build_benchmark(name, gpu, total_wgs=8, wgs_per_group=4,
+                        iterations=2, episodes=2, wavefronts_per_wg=3)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, (name, policy.name, out.reason)
+    k.args["validate"](gpu)
+
+
+def test_workers_actually_run():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=4)
+    k = build_benchmark("SPM_G", gpu, total_wgs=4, wgs_per_group=2,
+                        iterations=2, wavefronts_per_wg=4)
+    gpu.launch(k)
+    assert gpu.run().ok
+    # each WG has 4 wavefront processes
+    assert all(len(wg.wavefronts) == 4 for wg in gpu.wgs)
+    # workers wrote into their WG's LDS
+    assert all(wg.lds for wg in gpu.wgs)
+
+
+def test_multi_wavefront_context_is_larger():
+    gpu = make_gpu(awg())
+    small = build_benchmark("SPM_G", gpu, total_wgs=2, wgs_per_group=2,
+                            wavefronts_per_wg=1)
+    large = build_benchmark("SPM_G", gpu, total_wgs=2, wgs_per_group=2,
+                            wavefronts_per_wg=4)
+    assert large.context_bytes() > small.context_bytes()
+
+
+def test_multi_wavefront_survives_eviction():
+    """Forced eviction while workers are parked at syncthreads."""
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2,
+                   deadlock_window=200_000)
+    k = build_benchmark("FAM_G", gpu, total_wgs=4, wgs_per_group=2,
+                        iterations=4, wavefronts_per_wg=2,
+                        work_cycles=1_000)
+    ResourceLossEvent(at_us=3, cu_id=1).schedule(gpu)
+    gpu.launch(k)
+    out = gpu.run()
+    assert out.ok, out.reason
+    k.args["validate"](gpu)
