@@ -1,0 +1,26 @@
+# Convenience targets for the AWG reproduction.
+#
+#   make test          tier-1 test suite
+#   make bench         full figure-suite regeneration (pytest-benchmark)
+#   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
+#   make clean-cache   drop the on-disk result cache
+#
+# Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
+# REPRO_CACHE_DIR (cache root).
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke clean-cache
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks -q
+
+bench-smoke:
+	$(PY) -m repro.experiments.smoke
+
+clean-cache:
+	$(PY) -m repro.cli cache --clear

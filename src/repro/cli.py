@@ -6,8 +6,12 @@ Usage::
     awg-repro table1                # print Table 1
     awg-repro fig14                 # regenerate Figure 14 (headline)
     awg-repro fig14 --quick         # small-scale smoke version
+    awg-repro fig14 --jobs 8        # fan cells over 8 worker processes
+    awg-repro fig14 --no-cache      # force re-simulation of every cell
     awg-repro run SPM_G awg         # one benchmark under one policy
     awg-repro all                   # every experiment, in paper order
+    awg-repro cache                 # show result-cache location / size
+    awg-repro cache --clear         # drop every cached result
 """
 
 from __future__ import annotations
@@ -24,27 +28,28 @@ from repro.experiments import (
 from repro.experiments import (
     fig5, fig7, fig8, fig9, fig11, fig13, fig14, fig15, table1, table2,
 )
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.workloads.registry import benchmark_names
 
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": lambda scenario: table1.run(),
-    "table2": table2.run,
-    "fig5": fig5.run,
-    "fig7": fig7.run,
-    "fig8": fig8.run,
-    "fig9": fig9.run,
-    "fig11": fig11.run,
-    "fig13": lambda scenario: fig13.run(
-        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED
+    "table1": lambda scenario, **kw: table1.run(),
+    "table2": lambda scenario, **kw: table2.run(scenario, **kw),
+    "fig5": lambda scenario, **kw: fig5.run(scenario),
+    "fig7": lambda scenario, **kw: fig7.run(scenario, **kw),
+    "fig8": lambda scenario, **kw: fig8.run(scenario, **kw),
+    "fig9": lambda scenario, **kw: fig9.run(scenario, **kw),
+    "fig11": lambda scenario, **kw: fig11.run(scenario, **kw),
+    "fig13": lambda scenario, **kw: fig13.run(
+        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED, **kw
     ),
-    "fig14": fig14.run,
-    "fig15": lambda scenario: fig15.run(
-        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED
+    "fig14": lambda scenario, **kw: fig14.run(scenario, **kw),
+    "fig15": lambda scenario, **kw: fig15.run(
+        scenario if scenario.resource_loss_at_us else OVERSUBSCRIBED, **kw
     ),
 }
 
 
-def _run_ablations(quick: bool) -> None:
+def _run_ablations(quick: bool, **kw) -> None:
     from repro.experiments import ablations
 
     scenario = QUICK_SCALE if quick else PAPER_SCALE.scaled(
@@ -52,9 +57,23 @@ def _run_ablations(quick: bool) -> None:
         iterations=2, episodes=4)
     for fn in (ablations.syncmon_capacity, ablations.monitor_log_capacity,
                ablations.resume_prediction):
-        print(fn(scenario).render())
+        print(fn(scenario, **kw).render())
         print()
-    print(ablations.stall_prediction().render())
+    print(ablations.stall_prediction(**kw).render())
+
+
+def _run_cache_command(clear: bool) -> int:
+    cache = ResultCache(default_cache_dir())
+    if clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.root}")
+        return 0
+    print(f"cache dir:     {cache.root}")
+    print(f"entries:       {cache.entry_count()}")
+    print(f"fingerprint:   {cache.fingerprint}")
+    print("clear with:    awg-repro cache --clear "
+          "(or delete the directory)")
+    return 0
 
 
 def _run_timeline() -> None:
@@ -69,7 +88,8 @@ def _run_timeline() -> None:
         print()
 
 
-def _run_experiment(name: str, quick: bool, chart: bool = False) -> None:
+def _run_experiment(name: str, quick: bool, chart: bool = False,
+                    **kw) -> None:
     scenario = QUICK_SCALE if quick else PAPER_SCALE
     if quick and name in ("fig13", "fig15"):
         scenario = OVERSUBSCRIBED.scaled(
@@ -78,7 +98,7 @@ def _run_experiment(name: str, quick: bool, chart: bool = False) -> None:
             label="quick-oversubscribed",
         )
     started = time.time()
-    result = EXPERIMENTS[name](scenario)
+    result = EXPERIMENTS[name](scenario, **kw)
     if chart:
         from repro.experiments.charts import LOG_SCALE_EXPERIMENTS, bar_chart
         print(bar_chart(result, log=name in LOG_SCALE_EXPERIMENTS))
@@ -105,23 +125,37 @@ def main(argv=None) -> int:
                         help="render figures as ASCII bar charts")
     parser.add_argument("--oversubscribed", action="store_true",
                         help="for 'run': inject the resource-loss event")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="parallel simulation workers (default: "
+                             "$REPRO_JOBS or cpu count; 1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--clear", action="store_true",
+                        help="for 'cache': delete every cached result")
     opts = parser.parse_args(argv)
+    matrix_kw = {
+        "jobs": opts.jobs,
+        "cache": None if opts.no_cache else "default",
+    }
 
     if opts.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
-        print("extras:      ablations, timeline")
+        print("extras:      ablations, timeline, cache")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
         return 0
 
+    if opts.command == "cache":
+        return _run_cache_command(opts.clear)
+
     if opts.command == "all":
         for name in EXPERIMENTS:
-            _run_experiment(name, opts.quick, opts.chart)
+            _run_experiment(name, opts.quick, opts.chart, **matrix_kw)
         return 0
 
     if opts.command == "ablations":
-        _run_ablations(opts.quick)
+        _run_ablations(opts.quick, **matrix_kw)
         return 0
 
     if opts.command == "timeline":
@@ -146,7 +180,7 @@ def main(argv=None) -> int:
         return 0 if res.ok else 1
 
     if opts.command in EXPERIMENTS:
-        _run_experiment(opts.command, opts.quick, opts.chart)
+        _run_experiment(opts.command, opts.quick, opts.chart, **matrix_kw)
         return 0
 
     parser.error(f"unknown command {opts.command!r}")

@@ -21,6 +21,13 @@ fig15       Figure 15 — oversubscribed speedup vs Timeout
 ==========  ======================================================
 """
 
+from repro.experiments.cache import ResultCache, default_cache
+from repro.experiments.matrix import (
+    CellError,
+    MatrixResult,
+    RunRequest,
+    run_matrix,
+)
 from repro.experiments.report import ExperimentResult, geomean
 from repro.experiments.runner import (
     OVERSUBSCRIBED,
@@ -32,12 +39,18 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CellError",
     "ExperimentResult",
+    "MatrixResult",
     "OVERSUBSCRIBED",
     "PAPER_SCALE",
     "QUICK_SCALE",
+    "ResultCache",
+    "RunRequest",
     "RunResult",
     "Scenario",
+    "default_cache",
     "geomean",
     "run_benchmark",
+    "run_matrix",
 ]

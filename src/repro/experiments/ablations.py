@@ -21,9 +21,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import awg, monnr_all, monnr_one
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import (
-    OVERSUBSCRIBED, PAPER_SCALE, Scenario, run_benchmark,
+    OVERSUBSCRIBED, PAPER_SCALE, Scenario,
 )
 
 
@@ -31,6 +32,8 @@ def syncmon_capacity(
     scenario: Scenario = PAPER_SCALE,
     benchmark: str = "FAM_G",
     set_counts: Optional[List[int]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     """Condition-cache capacity sweep (4-way, so capacity = 4 x sets)."""
     set_counts = set_counts or [256, 16, 4, 1]
@@ -40,25 +43,29 @@ def syncmon_capacity(
                  "log peak", "cp resumes"],
         row_label="config",
     )
+    matrix = run_matrix(
+        [
+            RunRequest(benchmark, awg(), scenario,
+                       config_overrides={"syncmon_sets": sets})
+            for sets in set_counts
+        ],
+        jobs=jobs, cache=cache,
+    )
     base_cycles = None
-    for sets in set_counts:
-        res = run_benchmark(
-            benchmark, awg(), scenario, keep_gpu=True,
-            config_overrides={"syncmon_sets": sets},
-        )
+    for sets, res in zip(set_counts, matrix):
         assert res.ok, f"virtualization must preserve progress (sets={sets})"
         if base_cycles is None:
             base_cycles = res.cycles
-        sm = res.gpu.syncmon
         result.add_row(
             f"{sets} sets",
             conditions=sets * 4,
             cycles=res.cycles,
             normalized=res.cycles / base_cycles,
-            spills=sm.spills,
-            **{"log peak": res.gpu.monitor_log.peak_occupancy,
-               "cp resumes": res.gpu.cp.spilled_resumes},
+            spills=int(res.stats["syncmon.spills"]),
+            **{"log peak": int(res.stats["log.peak"]),
+               "cp resumes": int(res.stats["cp.spilled_resumes"])},
         )
+    result.notes.append(matrix.summary())
     return result
 
 
@@ -66,6 +73,8 @@ def monitor_log_capacity(
     scenario: Scenario = PAPER_SCALE,
     benchmark: str = "SLM_G",
     capacities: Optional[List[int]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     """Monitor Log capacity sweep with a tiny SyncMon (everything spills)."""
     capacities = capacities or [1024, 64, 8, 2]
@@ -75,16 +84,20 @@ def monitor_log_capacity(
         columns=["cycles", "normalized", "log-full retries"],
         row_label="entries",
     )
+    matrix = run_matrix(
+        [
+            RunRequest(benchmark, awg(), scenario,
+                       config_overrides={
+                           "syncmon_sets": 1,
+                           "monitor_log_entries": cap,
+                           "cp_check_interval": 1_000,
+                       })
+            for cap in capacities
+        ],
+        jobs=jobs, cache=cache,
+    )
     base_cycles = None
-    for cap in capacities:
-        res = run_benchmark(
-            benchmark, awg(), scenario, keep_gpu=True,
-            config_overrides={
-                "syncmon_sets": 1,
-                "monitor_log_entries": cap,
-                "cp_check_interval": 1_000,
-            },
-        )
+    for cap, res in zip(capacities, matrix):
         assert res.ok, f"Mesa busy-retry must preserve progress (cap={cap})"
         if base_cycles is None:
             base_cycles = res.cycles
@@ -92,23 +105,32 @@ def monitor_log_capacity(
             str(cap),
             cycles=res.cycles,
             normalized=res.cycles / base_cycles,
-            **{"log-full retries": res.gpu.syncmon.log_full_events},
+            **{"log-full retries": int(res.stats["syncmon.log_full"])},
         )
+    result.notes.append(matrix.summary())
     return result
 
 
-def resume_prediction(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
+def resume_prediction(
+    scenario: Scenario = PAPER_SCALE,
+    jobs: Optional[int] = None,
+    cache="default",
+) -> ExperimentResult:
     """The predictor must match resume-One on mutexes and resume-All on
     barriers — the whole point of AWG over MonNR-* (§IV.E)."""
     result = ExperimentResult(
         title="Ablation: resume-count prediction (cycles)",
         columns=["MonNR-All", "MonNR-One", "AWG", "AWG vs best fixed"],
     )
-    for benchmark in ("SPM_G", "TB_LG"):
-        cycles = {}
-        for policy in (monnr_all(), monnr_one(), awg()):
-            cycles[policy.name] = run_benchmark(benchmark, policy,
-                                                scenario).cycles
+    benchmarks = ("SPM_G", "TB_LG")
+    policies = (monnr_all(), monnr_one(), awg())
+    matrix = run_matrix(
+        [RunRequest(b, p, scenario) for b in benchmarks for p in policies],
+        jobs=jobs, cache=cache,
+    )
+    for benchmark in benchmarks:
+        cycles = {p.name: matrix.get(benchmark, p.name).cycles
+                  for p in policies}
         best_fixed = min(cycles["MonNR-All"], cycles["MonNR-One"])
         result.add_row(
             benchmark,
@@ -119,6 +141,7 @@ def resume_prediction(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
                 "AWG vs best fixed": cycles["AWG"] / best_fixed,
             },
         )
+    result.notes.append(matrix.summary())
     return result
 
 
@@ -130,7 +153,11 @@ STANDING_OVERSUB = PAPER_SCALE.scaled(
 )
 
 
-def stall_prediction(scenario: Scenario = STANDING_OVERSUB) -> ExperimentResult:
+def stall_prediction(
+    scenario: Scenario = STANDING_OVERSUB,
+    jobs: Optional[int] = None,
+    cache="default",
+) -> ExperimentResult:
     """AWG with and without the predicted stall-before-switch.
 
     With a standing oversubscription (grid larger than residency),
@@ -144,8 +171,14 @@ def stall_prediction(scenario: Scenario = STANDING_OVERSUB) -> ExperimentResult:
               f"({scenario.label})",
         columns=["AWG", "AWG-NoStall", "stall saves switches"],
     )
-    for benchmark in ("SPM_G", "FAM_G", "TB_LG", "LFTB_LG"):
-        runs = {p.name: run_benchmark(benchmark, p, scenario)
+    benchmarks = ("SPM_G", "FAM_G", "TB_LG", "LFTB_LG")
+    matrix = run_matrix(
+        [RunRequest(b, p, scenario)
+         for b in benchmarks for p in (with_stall, no_stall)],
+        jobs=jobs, cache=cache,
+    )
+    for benchmark in benchmarks:
+        runs = {p.name: matrix.get(benchmark, p.name)
                 for p in (with_stall, no_stall)}
         result.add_row(
             benchmark,
@@ -157,4 +190,5 @@ def stall_prediction(scenario: Scenario = STANDING_OVERSUB) -> ExperimentResult:
                     - runs["AWG"].context_switches,
             },
         )
+    result.notes.append(matrix.summary())
     return result

@@ -1,0 +1,160 @@
+"""Content-addressed on-disk cache for experiment cells.
+
+Every (benchmark, policy, scenario, overrides) cell is keyed by a SHA-256
+of its canonical JSON spec plus a *code fingerprint* — a hash of every
+``.py`` file in the ``repro`` package — so editing any simulator or
+experiment source invalidates all cached results, while re-running an
+unchanged figure (or a second figure sharing cells with a first) hits
+the cache instead of re-simulating.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per cell
+holding the :class:`~repro.experiments.runner.RunResult` fields (never
+the GPU object). Writes go through a temp file + atomic rename so
+concurrent runs never observe a torn entry.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    cache root (default ``$XDG_CACHE_HOME/awg-repro`` or
+    ``~/.cache/awg-repro``)
+``REPRO_NO_CACHE``
+    set to ``1`` to disable the default cache entirely
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.experiments.runner import RunResult
+
+#: RunResult fields persisted to disk (everything except ``gpu``)
+RESULT_FIELDS = (
+    "benchmark",
+    "policy",
+    "scenario",
+    "cycles",
+    "completed",
+    "deadlocked",
+    "reason",
+    "atomics",
+    "waiting_atomics",
+    "context_switches",
+    "wg_running_cycles",
+    "wg_waiting_cycles",
+    "stats",
+)
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package (cached)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "awg-repro"
+
+
+def default_cache() -> Optional["ResultCache"]:
+    """The process-wide default cache, or None when opted out via env."""
+    if not cache_enabled():
+        return None
+    return ResultCache(default_cache_dir())
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` records.
+
+    ``hits`` / ``misses`` / ``stores`` count this instance's traffic so
+    experiment reports can surface them.
+    """
+
+    def __init__(self, root: os.PathLike, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+    def key_for(self, spec: Dict[str, Any]) -> str:
+        """Stable content hash of a cell spec under the current code."""
+        payload = json.dumps(
+            {"fingerprint": self.fingerprint, "spec": spec},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- traffic -------------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+            result = RunResult(**payload["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        if result.gpu is not None:
+            raise ConfigError(
+                "refusing to cache a RunResult holding a GPU object; "
+                "run with keep_gpu=False"
+            )
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = {name: getattr(result, name) for name in RESULT_FIELDS}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps({"result": body}, sort_keys=True))
+        tmp.replace(path)
+        self.stores += 1
+
+    # -- maintenance ---------------------------------------------------
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = self.entry_count()
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed
+
+    def summary(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses"

@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import monnr_all, monnr_one, timeout
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import benchmark_names
 
 #: the paper's Figure 11 covers the 10 Table 2 benchmarks (no SPMBO)
@@ -24,6 +25,8 @@ def fig11_benchmarks() -> List[str]:
 def run(
     scenario: Scenario = PAPER_SCALE,
     benchmarks: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     benchmarks = benchmarks or fig11_benchmarks()
     policies = [timeout(20_000), monnr_all(), monnr_one()]
@@ -35,8 +38,13 @@ def run(
               "(running + waiting cycles summed over WGs)",
         columns=cols,
     )
+    requests = [
+        RunRequest(name, policy, scenario)
+        for name in benchmarks for policy in policies
+    ]
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
     for name in benchmarks:
-        runs = {p.name: run_benchmark(name, p, scenario) for p in policies}
+        runs = {p.name: matrix.get(name, p.name) for p in policies}
         denom = max(
             1, runs["Timeout-20k"].wg_running_cycles
             + runs["Timeout-20k"].wg_waiting_cycles
@@ -46,6 +54,7 @@ def run(
             values[f"{p.name} running"] = runs[p.name].wg_running_cycles / denom
             values[f"{p.name} waiting"] = runs[p.name].wg_waiting_cycles / denom
         result.add_row(name, **values)
+    result.notes.append(matrix.summary())
     return result
 
 

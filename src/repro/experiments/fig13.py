@@ -10,13 +10,20 @@ equivalent.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.policies import awg
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import OVERSUBSCRIBED, Scenario, run_benchmark
+from repro.experiments.runner import OVERSUBSCRIBED, Scenario
 from repro.workloads.registry import benchmark_names
 
 
-def run(scenario: Scenario = OVERSUBSCRIBED) -> ExperimentResult:
+def run(
+    scenario: Scenario = OVERSUBSCRIBED,
+    jobs: Optional[int] = None,
+    cache="default",
+) -> ExperimentResult:
     result = ExperimentResult(
         title="Figure 13: CP scheduling data-structure sizes (KB), "
               "measured peaks under AWG",
@@ -28,19 +35,24 @@ def run(scenario: Scenario = OVERSUBSCRIBED) -> ExperimentResult:
             "Saved Contexts",
         ],
     )
-    for name in benchmark_names():
-        res = run_benchmark(name, awg(), scenario, keep_gpu=True)
-        sizes = res.gpu.cp.datastructure_bytes()
+    names = benchmark_names()
+    matrix = run_matrix(
+        [RunRequest(name, awg(), scenario) for name in names],
+        jobs=jobs, cache=cache,
+    )
+    for name in names:
+        stats = matrix.get(name, "AWG").stats
         result.add_row(
             name,
             **{
-                "Waiting Conditions": sizes["waiting_conditions"] / 1024.0,
-                "Monitored Addresses": sizes["monitored_addresses"] / 1024.0,
-                "Waiting WGs": sizes["waiting_wgs"] / 1024.0,
-                "Monitor Table": sizes["monitor_table"] / 1024.0,
-                "Saved Contexts": res.gpu.cp.arena.peak_bytes / 1024.0,
+                "Waiting Conditions": stats["cp.ds.waiting_conditions"] / 1024.0,
+                "Monitored Addresses": stats["cp.ds.monitored_addresses"] / 1024.0,
+                "Waiting WGs": stats["cp.ds.waiting_wgs"] / 1024.0,
+                "Monitor Table": stats["cp.ds.monitor_table"] / 1024.0,
+                "Saved Contexts": stats["cp.arena.peak_bytes"] / 1024.0,
             },
         )
+    result.notes.append(matrix.summary())
     return result
 
 

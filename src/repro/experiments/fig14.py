@@ -15,8 +15,9 @@ from typing import Dict, List, Optional
 from repro.core.policies import (
     PolicySpec, awg, baseline, monnr_all, monnr_one, sleep, timeout,
 )
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult, geomean
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import BENCHMARKS, benchmark_names
 
 GEOMEAN_ROW = "GeoMean"
@@ -27,10 +28,19 @@ def default_policies() -> List[PolicySpec]:
             monnr_all(), monnr_one(), awg()]
 
 
+def _skip(name: str, policy: PolicySpec) -> bool:
+    # The paper only shows Sleep for benchmarks modified to use
+    # exponential backoff.
+    return (policy.name.startswith("Sleep")
+            and not BENCHMARKS[name].supports_sleep)
+
+
 def run(
     scenario: Scenario = PAPER_SCALE,
     benchmarks: Optional[List[str]] = None,
     policies: Optional[List[PolicySpec]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     benchmarks = benchmarks or benchmark_names()
     policies = policies or default_policies()
@@ -39,19 +49,22 @@ def run(
               "non-oversubscribed (log-scale in the paper)",
         columns=[p.name for p in policies],
     )
+    requests = [RunRequest(name, baseline(), scenario) for name in benchmarks]
+    requests += [
+        RunRequest(name, policy, scenario)
+        for name in benchmarks
+        for policy in policies
+        if policy.name != "Baseline" and not _skip(name, policy)
+    ]
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
     speedups: Dict[str, List[float]] = {p.name: [] for p in policies}
     for name in benchmarks:
-        base = run_benchmark(name, baseline(), scenario)
+        base = matrix.get(name, "Baseline")
         for policy in policies:
-            if policy.name == "Baseline":
-                res = base
-            elif policy.name.startswith("Sleep") and not BENCHMARKS[name].supports_sleep:
-                # The paper only shows Sleep for benchmarks modified to
-                # use exponential backoff.
+            if _skip(name, policy):
                 result.add_row(name, **{policy.name: None})
                 continue
-            else:
-                res = run_benchmark(name, policy, scenario)
+            res = matrix.get(name, policy.name)
             speedup = base.cycles / res.cycles
             speedups[policy.name].append(speedup)
             result.add_row(name, **{policy.name: speedup})
@@ -60,6 +73,7 @@ def run(
         **{p.name: geomean(speedups[p.name]) for p in policies},
     )
     result.notes.append("paper: AWG geomean = 12x over Baseline")
+    result.notes.append(matrix.summary())
     return result
 
 

@@ -16,8 +16,9 @@ from typing import Dict, List, Optional
 from repro.core.policies import (
     PolicySpec, awg, baseline, monnr_all, monnr_one, sleep, timeout,
 )
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult, geomean
-from repro.experiments.runner import OVERSUBSCRIBED, Scenario, run_benchmark
+from repro.experiments.runner import OVERSUBSCRIBED, Scenario
 from repro.workloads.registry import benchmark_names
 
 GEOMEAN_ROW = "GeoMean"
@@ -33,6 +34,8 @@ def run(
     scenario: Scenario = OVERSUBSCRIBED,
     benchmarks: Optional[List[str]] = None,
     policies: Optional[List[PolicySpec]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     benchmarks = benchmarks or benchmark_names()
     policies = policies or default_policies()
@@ -41,14 +44,21 @@ def run(
               f"(resource loss at {scenario.resource_loss_at_us} us)",
         columns=[p.name for p in policies],
     )
+    requests = [
+        RunRequest(name, timeout(20_000), scenario) for name in benchmarks
+    ]
+    requests += [
+        RunRequest(name, policy, scenario)
+        for name in benchmarks
+        for policy in policies
+        if policy.name != "Timeout-20k"
+    ]
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
     speedups: Dict[str, List[float]] = {p.name: [] for p in policies}
     for name in benchmarks:
-        norm = run_benchmark(name, timeout(20_000), scenario)
+        norm = matrix.get(name, "Timeout-20k")
         for policy in policies:
-            if policy.name == "Timeout-20k":
-                res = norm
-            else:
-                res = run_benchmark(name, policy, scenario)
+            res = matrix.get(name, policy.name)
             if not res.ok:
                 result.add_row(name, **{policy.name: DEADLOCK})
                 continue
@@ -68,6 +78,7 @@ def run(
         "switched WG"
     )
     result.notes.append("paper: AWG geomean = 2.5x over Timeout")
+    result.notes.append(matrix.summary())
     return result
 
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import baseline, sleep
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import BENCHMARKS
 
 #: maximum backoff intervals, in cycles (the paper's Sleep-Xk labels)
@@ -28,6 +29,8 @@ def sleep_benchmarks() -> List[str]:
 def run(
     scenario: Scenario = PAPER_SCALE,
     intervals: Optional[List[int]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     intervals = intervals or DEFAULT_INTERVALS
     labels = [f"Sleep-{i // 1000}k" for i in intervals]
@@ -36,16 +39,25 @@ def run(
               "(runtime normalized to Baseline; < 1 is faster)",
         columns=["Baseline"] + labels,
     )
-    for name in sleep_benchmarks():
-        base = run_benchmark(name, baseline(), scenario)
+    names = sleep_benchmarks()
+    requests = []
+    for name in names:
+        requests.append(RunRequest(name, baseline(), scenario))
+        for interval in intervals:
+            requests.append(
+                RunRequest(name, sleep(backoff_max=interval), scenario))
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
+    for name in names:
+        base = matrix.get(name, "Baseline")
         result.add_row(name, Baseline=1.0)
         for interval, label in zip(intervals, labels):
-            res = run_benchmark(name, sleep(backoff_max=interval), scenario)
+            res = matrix.get(name, sleep(backoff_max=interval).name)
             result.add_row(name, **{label: res.cycles / base.cycles})
     result.notes.append(
         "the paper's finding: no single static sleep configuration is "
         "best across primitives"
     )
+    result.notes.append(matrix.summary())
     return result
 
 

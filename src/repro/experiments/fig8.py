@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import baseline, timeout
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import benchmark_names
 
 DEFAULT_INTERVALS = [10_000, 20_000, 50_000, 100_000]
@@ -23,6 +24,8 @@ def run(
     scenario: Scenario = PAPER_SCALE,
     intervals: Optional[List[int]] = None,
     benchmarks: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     intervals = intervals or DEFAULT_INTERVALS
     benchmarks = benchmarks or benchmark_names()
@@ -31,16 +34,23 @@ def run(
         title="Figure 8: Timeout interval runtime, normalized to Baseline",
         columns=["Baseline"] + labels,
     )
+    requests = []
     for name in benchmarks:
-        base = run_benchmark(name, baseline(), scenario)
+        requests.append(RunRequest(name, baseline(), scenario))
+        for interval in intervals:
+            requests.append(RunRequest(name, timeout(interval), scenario))
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
+    for name in benchmarks:
+        base = matrix.get(name, "Baseline")
         result.add_row(name, Baseline=1.0)
         for interval, label in zip(intervals, labels):
-            res = run_benchmark(name, timeout(interval), scenario)
+            res = matrix.get(name, timeout(interval).name)
             result.add_row(name, **{label: res.cycles / base.cycles})
     result.notes.append(
         "values > 1 mean Timeout is slower than busy-waiting — the "
         "paper's motivation for monitor-based hardware support"
     )
+    result.notes.append(matrix.summary())
     return result
 
 

@@ -13,14 +13,17 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import minresume, monnr_all, monr_all, monrs_all
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import benchmark_names
 
 
 def run(
     scenario: Scenario = PAPER_SCALE,
     benchmarks: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache="default",
 ) -> ExperimentResult:
     benchmarks = benchmarks or benchmark_names()
     policies = [minresume(), monrs_all(), monr_all(), monnr_all()]
@@ -29,11 +32,16 @@ def run(
               "count normalized to MinResume (log-scale in the paper)",
         columns=[p.name for p in policies],
     )
+    requests = [
+        RunRequest(name, policy, scenario)
+        for name in benchmarks for policy in policies
+    ]
+    matrix = run_matrix(requests, jobs=jobs, cache=cache)
     for name in benchmarks:
-        counts = {}
-        for policy in policies:
-            res = run_benchmark(name, policy, scenario)
-            counts[policy.name] = res.atomics
+        counts = {
+            policy.name: matrix.get(name, policy.name).atomics
+            for policy in policies
+        }
         oracle = max(1, counts["MinResume"])
         result.add_row(
             name, **{p: c / oracle for p, c in counts.items()}
@@ -42,6 +50,7 @@ def run(
         "MonRS-All resumes waiters on every access without checking the "
         "condition, so centralized primitives retry massively"
     )
+    result.notes.append(matrix.summary())
     return result
 
 

@@ -1,0 +1,269 @@
+"""Parallel execution of the experiment matrix with result caching.
+
+Every figure/table sweep is a list of independent simulation cells
+(benchmark × policy × scenario × overrides). :func:`run_matrix` fans the
+cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``jobs=1`` preserves the in-process path for debugging), consults the
+content-addressed :mod:`~repro.experiments.cache`, deduplicates
+identical cells inside one sweep (e.g. the per-benchmark Baseline run
+every normalized figure repeats), and returns results in deterministic
+request order with per-cell error capture — one failed cell does not
+abort the sweep.
+
+Simulations are seeded and deterministic, so ``jobs=1`` and ``jobs=N``
+produce bit-identical :class:`RunResult` fields.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.policies import PolicySpec
+from repro.errors import ConfigError
+from repro.experiments.cache import ResultCache, default_cache
+from repro.experiments.runner import RunResult, Scenario, run_benchmark
+
+#: sentinel: "use the process-wide default cache unless opted out"
+DEFAULT_CACHE = "default"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_JOBS``, else cpu_count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_JOBS must be an integer, got {env!r}")
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _dataclass_spec(obj: Any) -> Dict[str, Any]:
+    return {f.name: _jsonable(getattr(obj, f.name)) for f in fields(obj)}
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One cell of the experiment matrix (the spec of one simulation)."""
+
+    benchmark: str
+    policy: PolicySpec
+    scenario: Scenario
+    validate: bool = True
+    keep_gpu: bool = False
+    config_overrides: Optional[Dict[str, Any]] = None
+    param_overrides: Optional[Dict[str, Any]] = None
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical dict of everything that determines the result."""
+        return {
+            "benchmark": self.benchmark,
+            "policy": _dataclass_spec(self.policy),
+            "scenario": _dataclass_spec(self.scenario),
+            "validate": self.validate,
+            "config_overrides": _jsonable(self.config_overrides or {}),
+            "param_overrides": _jsonable(self.param_overrides or {}),
+        }
+
+    def execute(self) -> RunResult:
+        return run_benchmark(
+            self.benchmark,
+            self.policy,
+            self.scenario,
+            validate=self.validate,
+            keep_gpu=self.keep_gpu,
+            config_overrides=dict(self.config_overrides)
+            if self.config_overrides else None,
+            **(self.param_overrides or {}),
+        )
+
+
+class CellError(Exception):
+    """A matrix cell's simulation raised; carries the worker traceback."""
+
+    def __init__(self, request: RunRequest, tb: str):
+        super().__init__(
+            f"cell ({request.benchmark}, {request.policy.name}, "
+            f"{request.scenario.label}) failed:\n{tb}"
+        )
+        self.request = request
+        self.traceback = tb
+
+
+@dataclass
+class Cell:
+    """Outcome of one request: a result or a captured error."""
+
+    request: RunRequest
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+
+
+def _execute_cell(request: RunRequest) -> Tuple[Optional[RunResult], Optional[str]]:
+    """Pool worker: never raises — errors come back as tracebacks."""
+    try:
+        return request.execute(), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+class MatrixResult(Sequence):
+    """Cells in request order; indexing yields the cell's RunResult.
+
+    Accessing a failed cell raises :class:`CellError` with the captured
+    worker traceback; ``errors`` lists failures without raising.
+    """
+
+    def __init__(self, cells: List[Cell], jobs: int,
+                 cache_hits: int, cache_misses: int, deduped: int):
+        self.cells = cells
+        self.jobs = jobs
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.deduped = deduped
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        cell = self.cells[index]
+        if cell.error is not None:
+            raise CellError(cell.request, cell.error)
+        return cell.result
+
+    @property
+    def errors(self) -> List[Tuple[int, RunRequest, str]]:
+        return [(i, c.request, c.error)
+                for i, c in enumerate(self.cells) if c.error is not None]
+
+    def get(self, benchmark: str, policy_name: str) -> RunResult:
+        """Result of the unique (benchmark, policy-name) cell.
+
+        Sweeps that repeat a pair with different overrides must index by
+        position instead."""
+        matches = [
+            i for i, c in enumerate(self.cells)
+            if c.request.benchmark == benchmark
+            and c.request.policy.name == policy_name
+        ]
+        if not matches:
+            raise KeyError(f"no cell for ({benchmark}, {policy_name})")
+        if len(matches) > 1:
+            raise KeyError(
+                f"({benchmark}, {policy_name}) is ambiguous "
+                f"({len(matches)} cells); index by position"
+            )
+        return self[matches[0]]
+
+    def summary(self) -> str:
+        """One line for experiment-report notes (hit/miss counters)."""
+        return (
+            f"matrix: {len(self.cells)} cells, {self.cache_hits} cache "
+            f"hits, {self.cache_misses} misses, {self.deduped} deduped, "
+            f"jobs={self.jobs}"
+        )
+
+
+def run_matrix(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = DEFAULT_CACHE,
+    dedupe: bool = True,
+) -> MatrixResult:
+    """Execute every request, in parallel and through the cache.
+
+    Results come back in request order regardless of completion order.
+    ``cache`` is a :class:`ResultCache`, ``None`` (no caching), or the
+    default sentinel (honours ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR``).
+    """
+    jobs = resolve_jobs(jobs)
+    if cache == DEFAULT_CACHE:
+        cache = default_cache()
+    if jobs > 1 and any(req.keep_gpu for req in requests):
+        raise ConfigError(
+            "keep_gpu=True cells cannot cross the process pool (a GPU "
+            "object is not picklable); use jobs=1 or drop keep_gpu and "
+            "read the derived metrics from RunResult.stats instead"
+        )
+
+    cells: List[Optional[Cell]] = [None] * len(requests)
+    cache_hits = cache_misses = deduped = 0
+
+    # Resolve cache hits and collapse duplicate specs to one execution.
+    # keep_gpu cells bypass both (the GPU object is neither serializable
+    # nor safely shared).
+    pending: List[Tuple[Optional[str], RunRequest, List[int]]] = []
+    by_spec: Dict[str, int] = {}
+    for index, req in enumerate(requests):
+        if req.keep_gpu:
+            pending.append((None, req, [index]))
+            continue
+        spec = req.spec()
+        spec_key = repr(sorted(spec.items()))
+        if dedupe and spec_key in by_spec:
+            pending[by_spec[spec_key]][2].append(index)
+            deduped += 1
+            continue
+        if cache is not None:
+            key = cache.key_for(spec)
+            hit = cache.get(key)
+            if hit is not None:
+                cache_hits += 1
+                cells[index] = Cell(req, result=hit, from_cache=True)
+                continue
+            cache_misses += 1
+        else:
+            key = None
+        if dedupe:
+            by_spec[spec_key] = len(pending)
+        pending.append((key, req, [index]))
+
+    # Execute the surviving unique cells.
+    unique_requests = [req for (_key, req, _idx) in pending]
+    if jobs > 1 and len(unique_requests) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_execute_cell, unique_requests))
+    else:
+        outcomes = [_execute_cell(req) for req in unique_requests]
+
+    for (key, req, indices), (result, error) in zip(pending, outcomes):
+        if result is not None and key is not None and cache is not None:
+            cache.put(key, result)
+        for position, index in enumerate(indices):
+            if result is not None and position > 0:
+                # duplicates get their own stats dict so one consumer
+                # mutating it cannot corrupt another's view
+                cells[index] = Cell(req, result=replace(
+                    result, stats=dict(result.stats)))
+            else:
+                cells[index] = Cell(req, result=result, error=error)
+
+    return MatrixResult(
+        [c for c in cells if c is not None],
+        jobs=jobs,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        deduped=deduped,
+    )

@@ -131,6 +131,16 @@ def run_benchmark(
     outcome = gpu.run()
     if outcome.ok and validate:
         kernel.args["validate"](gpu)
+    stats = dict(outcome.stats)
+    # Derived metrics the table/figure modules need. Exporting them here
+    # keeps RunResult self-contained (picklable across the run_matrix
+    # process pool and serializable into the result cache) so no consumer
+    # has to hold onto the GPU object.
+    for key, nbytes in gpu.cp.datastructure_bytes().items():
+        stats[f"cp.ds.{key}"] = float(nbytes)
+    stats["cp.arena.peak_bytes"] = float(gpu.cp.arena.peak_bytes)
+    for key, value in gpu.syncmon.characterization().items():
+        stats[f"char.{key}"] = float(value)
     return RunResult(
         benchmark=name,
         policy=policy.name,
@@ -144,6 +154,6 @@ def run_benchmark(
         context_switches=outcome.context_switches,
         wg_running_cycles=outcome.wg_running_cycles,
         wg_waiting_cycles=outcome.wg_waiting_cycles,
-        stats=outcome.stats,
+        stats=stats,
         gpu=gpu if keep_gpu else None,
     )

@@ -1,0 +1,76 @@
+"""Benchmark smoke: prove the matrix cache pays for itself.
+
+Runs the Figure 7 sweep at QUICK_SCALE twice against one cache
+directory and asserts the second (warm) run served cells from the cache.
+Exits non-zero when the warm run misses entirely, so CI can gate on it.
+
+Usage::
+
+    awg-bench                     # temp cache dir, default jobs
+    awg-bench --jobs 4
+    awg-bench --cache-dir .cache  # keep the cache around
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.experiments import fig7
+from repro.experiments.cache import ResultCache
+from repro.experiments.matrix import resolve_jobs
+from repro.experiments.runner import QUICK_SCALE
+
+#: trimmed interval sweep so the smoke stays a smoke
+SMOKE_INTERVALS = [1_000, 16_000, 256_000]
+
+
+def _timed_run(cache: ResultCache, jobs: int) -> float:
+    started = time.time()
+    fig7.run(QUICK_SCALE, intervals=SMOKE_INTERVALS, jobs=jobs, cache=cache)
+    return time.time() - started
+
+
+def run_smoke(cache_dir: str, jobs: Optional[int] = None) -> int:
+    jobs = resolve_jobs(jobs)
+    cold_cache = ResultCache(cache_dir)
+    cold = _timed_run(cold_cache, jobs)
+    warm_cache = ResultCache(cache_dir)  # fresh hit/miss counters
+    warm = _timed_run(warm_cache, jobs)
+
+    total = warm_cache.hits + warm_cache.misses
+    rate = warm_cache.hits / total if total else 0.0
+    print(f"cold run: {cold:.2f}s ({cold_cache.summary()}, jobs={jobs})")
+    print(f"warm run: {warm:.2f}s ({warm_cache.summary()}, "
+          f"hit rate {rate:.0%}, speedup {cold / max(warm, 1e-9):.1f}x)")
+    if warm_cache.hits == 0:
+        print("FAIL: warm run hit the cache 0 times", file=sys.stderr)
+        return 1
+    print("OK: warm run served from the result cache")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="awg-bench",
+        description="fig7 QUICK_SCALE twice; the second run must hit "
+                    "the result cache",
+    )
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel workers (default: $REPRO_JOBS "
+                             "or cpu count)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory to use and keep "
+                             "(default: a throwaway temp dir)")
+    opts = parser.parse_args(argv)
+    if opts.cache_dir:
+        return run_smoke(opts.cache_dir, opts.jobs)
+    with tempfile.TemporaryDirectory(prefix="awg-bench-") as tmp:
+        return run_smoke(tmp, opts.jobs)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

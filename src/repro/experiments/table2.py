@@ -8,13 +8,20 @@ counters a complete characterization of the synchronization behaviour).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.policies import monnr_all
+from repro.experiments.matrix import RunRequest, run_matrix
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import PAPER_SCALE, Scenario, run_benchmark
+from repro.experiments.runner import PAPER_SCALE, Scenario
 from repro.workloads.registry import BENCHMARKS
 
 
-def run(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
+def run(
+    scenario: Scenario = PAPER_SCALE,
+    jobs: Optional[int] = None,
+    cache="default",
+) -> ExperimentResult:
     result = ExperimentResult(
         title="Table 2: Inter-WG synchronization benchmarks "
               f"[G={scenario.total_wgs}, L={scenario.wgs_per_group}]",
@@ -30,27 +37,31 @@ def run(scenario: Scenario = PAPER_SCALE) -> ExperimentResult:
             "updates until met (meas)",
         ],
     )
+    matrix = run_matrix(
+        [RunRequest(name, monnr_all(), scenario) for name in BENCHMARKS],
+        jobs=jobs, cache=cache,
+    )
     for name, spec in BENCHMARKS.items():
-        res = run_benchmark(name, monnr_all(), scenario, keep_gpu=True)
-        meas = res.gpu.syncmon.characterization()
+        stats = matrix.get(name, "MonNR-All").stats
         result.add_row(
             name,
             **{
                 "description": spec.description,
                 "# sync vars (paper)": spec.table2.sync_vars,
-                "# sync vars (meas)": meas["sync_vars"],
+                "# sync vars (meas)": stats["char.sync_vars"],
                 "conds/var (paper)": spec.table2.conds_per_var,
-                "conds/var (meas)": meas["conds_per_var"],
+                "conds/var (meas)": stats["char.conds_per_var"],
                 "waiters/cond (paper)": spec.table2.waiters_per_cond,
-                "waiters/cond (meas)": meas["waiters_per_cond"],
+                "waiters/cond (meas)": stats["char.waiters_per_cond"],
                 "updates until met (paper)": spec.table2.updates_until_met,
-                "updates until met (meas)": meas["updates_until_met"],
+                "updates until met (meas)": stats["char.updates_until_met"],
             },
         )
     result.notes.append(
         "paper columns are symbolic (G = total WGs, L = WGs per group, "
         "n = WIs per WG); measured columns are SyncMon counters."
     )
+    result.notes.append(matrix.summary())
     return result
 
 

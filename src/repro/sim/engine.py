@@ -28,6 +28,9 @@ class Engine:
         self._seq: int = 0
         self._heap: List[Tuple[int, int, Event]] = []
         self._running = False
+        #: live (scheduled, non-cancelled) events — maintained incrementally
+        #: on schedule/cancel/fire so :meth:`pending_events` is O(1)
+        self._live: int = 0
 
     @property
     def now(self) -> int:
@@ -57,7 +60,12 @@ class Engine:
         event.mark_scheduled(value)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._live += 1
         return event
+
+    def note_cancelled(self) -> None:
+        """A scheduled event was cancelled (called by :meth:`Event.cancel`)."""
+        self._live -= 1
 
     def call_at(self, delay: int, fn: Callable[[], None]) -> Event:
         """Invoke ``fn`` after ``delay`` cycles (fire-and-forget helper)."""
@@ -75,40 +83,58 @@ class Engine:
 
     def step(self) -> bool:
         """Fire the next event. Returns False if the heap is empty."""
-        while self._heap:
-            when, _seq, event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, event = pop(heap)
             if event.cancelled:
                 continue
             if when < self._now:
                 raise SimulationError("event heap time went backwards")
             self._now = when
+            self._live -= 1
             event.fire()
             return True
         return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the heap drains, ``until`` cycles pass, or the event
-        budget is exhausted. Returns the number of events processed."""
+        budget is exhausted. Returns the number of events processed.
+
+        The loop inspects each heap head exactly once (no separate
+        ``peek()`` + ``step()`` double pop/push per event)."""
         if self._running:
             raise SimulationError("engine is already running (re-entrant run)")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
         try:
-            while True:
-                nxt = self.peek()
-                if nxt is None:
-                    break
-                if until is not None and nxt > until:
+            while heap:
+                when, _seq, event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and when > until:
                     self._now = until
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                self.step()
+                pop(heap)
+                if when < self._now:
+                    raise SimulationError("event heap time went backwards")
+                self._now = when
+                self._live -= 1
+                event.fire()
                 processed += 1
         finally:
             self._running = False
         return processed
 
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still scheduled."""
-        return sum(1 for (_, _, ev) in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still scheduled.
+
+        O(1): an incrementally maintained counter (the full-heap scan it
+        replaces survives as the oracle in ``tests/sim/test_engine.py``).
+        """
+        return self._live

@@ -74,7 +74,13 @@ class Event:
         """Mark the event dead; it will never fire."""
         if self._state == _FIRED:
             raise SimulationError("cannot cancel a fired event")
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._state == _SCHEDULED:
+            # keep the engine's live-event counter in sync: the entry
+            # stays in the heap but will be skipped, not fired
+            self.env.note_cancelled()
 
     def fire(self) -> None:
         if self.cancelled:
@@ -98,6 +104,8 @@ class Event:
 class Timeout(Event):
     """An event that fires a fixed delay after creation."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Engine", delay: int, value: object = None) -> None:
         super().__init__(env)
         env.schedule(self, delay=delay, value=value)
@@ -109,6 +117,8 @@ class AnyOf(Event):
     The value is a ``(index, value)`` pair identifying which child won.
     Losing children are left alone (they may fire later harmlessly).
     """
+
+    __slots__ = ("children",)
 
     def __init__(self, env: "Engine", children: Iterable[Event]) -> None:
         super().__init__(env)
@@ -132,6 +142,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Fires once all children have fired; value is the list of values."""
+
+    __slots__ = ("children", "_remaining")
 
     def __init__(self, env: "Engine", children: Iterable[Event]) -> None:
         super().__init__(env)

@@ -29,6 +29,8 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator; fires (as an event) when the generator ends."""
 
+    __slots__ = ("name", "_gen", "_waiting_on")
+
     def __init__(self, env: "Engine", generator: Generator, name: str = "") -> None:
         super().__init__(env)
         if not hasattr(generator, "send"):

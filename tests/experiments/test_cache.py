@@ -1,0 +1,141 @@
+"""Cache key stability and invalidation tests.
+
+The content-addressed key must change when anything that can change the
+simulation result changes — policy parameters, scenario fields, config
+overrides, param overrides, or the code fingerprint — and must NOT
+change for a respecified-but-identical cell.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import awg, monnr_one, sleep
+from repro.errors import ConfigError
+from repro.experiments.cache import (
+    ResultCache, cache_enabled, code_fingerprint, default_cache,
+    default_cache_dir,
+)
+from repro.experiments.matrix import RunRequest
+from repro.experiments.runner import QUICK_SCALE, RunResult
+
+SCEN = QUICK_SCALE
+
+
+def _key(cache, **overrides):
+    base = dict(
+        benchmark="SPM_G", policy=awg(), scenario=SCEN,
+    )
+    base.update(overrides)
+    return cache.key_for(RunRequest(**base).spec())
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path, fingerprint="fp0")
+
+
+def test_identical_specs_share_a_key(cache):
+    assert _key(cache) == _key(cache)
+    # a freshly constructed but equal policy/scenario hits the same key
+    assert _key(cache, policy=awg()) == _key(cache, policy=awg())
+
+
+def test_policy_params_change_key(cache):
+    assert _key(cache, policy=awg()) != _key(cache, policy=monnr_one())
+    assert _key(cache, policy=awg(straggler_timeout=20_000)) != \
+        _key(cache, policy=awg(straggler_timeout=30_000))
+    assert _key(cache, policy=sleep(16_000)) != \
+        _key(cache, policy=sleep(16_000, backoff_min=128))
+
+
+def test_scenario_fields_change_key(cache):
+    assert _key(cache, scenario=SCEN) != \
+        _key(cache, scenario=SCEN.scaled(total_wgs=16))
+    assert _key(cache, scenario=SCEN) != \
+        _key(cache, scenario=SCEN.scaled(seed=2))
+    assert _key(cache, scenario=SCEN) != \
+        _key(cache, scenario=SCEN.scaled(resource_loss_at_us=5.0))
+
+
+def test_overrides_change_key(cache):
+    assert _key(cache) != \
+        _key(cache, config_overrides={"syncmon_sets": 1})
+    assert _key(cache, config_overrides={"syncmon_sets": 1}) != \
+        _key(cache, config_overrides={"syncmon_sets": 2})
+    assert _key(cache) != _key(cache, param_overrides={"iterations": 5})
+    assert _key(cache) != _key(cache, validate=False)
+
+
+def test_benchmark_changes_key(cache):
+    assert _key(cache, benchmark="SPM_G") != _key(cache, benchmark="TB_LG")
+
+
+def test_code_fingerprint_changes_key(tmp_path):
+    a = ResultCache(tmp_path, fingerprint="fp0")
+    b = ResultCache(tmp_path, fingerprint="fp1")
+    assert _key(a) != _key(b)
+
+
+def test_code_fingerprint_is_stable_and_nonempty():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 16
+
+
+def test_round_trip_preserves_every_field(cache):
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=12345, completed=True, deadlocked=False, reason="completed",
+        atomics=678, waiting_atomics=90, context_switches=3,
+        wg_running_cycles=1000, wg_waiting_cycles=250,
+        stats={"l2.hit_rate": 0.123456789, "syncmon.spills": 4.0},
+    )
+    cache.put("k" * 64, result)
+    loaded = cache.get("k" * 64)
+    assert dataclasses.asdict(loaded) == dataclasses.asdict(result)
+    assert cache.hits == 1 and cache.stores == 1
+
+
+def test_get_miss_and_corrupt_entry(cache, tmp_path):
+    assert cache.get("0" * 64) is None
+    path = tmp_path / "ab" / ("a" * 64 + ".json")
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    assert cache.get("a" * 64) is None
+    assert cache.misses == 2
+
+
+def test_put_refuses_gpu_handles(cache):
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=1, completed=True, deadlocked=False, reason="completed",
+        atomics=0, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=0, wg_waiting_cycles=0, gpu=object(),
+    )
+    with pytest.raises(ConfigError, match="GPU"):
+        cache.put("b" * 64, result)
+
+
+def test_clear_and_entry_count(cache):
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=1, completed=True, deadlocked=False, reason="completed",
+        atomics=0, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=0, wg_waiting_cycles=0,
+    )
+    cache.put("c" * 64, result)
+    cache.put("d" * 64, result)
+    assert cache.entry_count() == 2
+    assert cache.clear() == 2
+    assert cache.entry_count() == 0
+
+
+def test_env_opt_outs(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    assert default_cache_dir() == tmp_path / "c"
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not cache_enabled()
+    assert default_cache() is None
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    assert cache_enabled()
+    assert default_cache().root == tmp_path / "c"

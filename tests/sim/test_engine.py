@@ -139,3 +139,71 @@ def test_pending_events_counts_live_only():
     env.timeout(2)
     a.cancel()
     assert env.pending_events() == 1
+
+
+# -- incremental live-event counter -------------------------------------------
+
+def _scan_pending_events(env):
+    """The original O(n) full-heap scan, kept as the oracle for the
+    incrementally maintained counter behind ``pending_events()``."""
+    return sum(1 for (_, _, ev) in env._heap if not ev.cancelled)
+
+
+def test_pending_events_matches_scan_oracle():
+    import random
+
+    rng = random.Random(42)
+    env = Engine()
+    live = []
+    for _ in range(400):
+        action = rng.random()
+        if action < 0.5 or not live:
+            live.append(env.timeout(rng.randrange(0, 50)))
+        elif action < 0.75:
+            ev = live.pop(rng.randrange(len(live)))
+            if not ev.fired:
+                ev.cancel()
+        else:
+            env.run(max_events=rng.randrange(1, 5))
+            live = [ev for ev in live if not ev.fired]
+        assert env.pending_events() == _scan_pending_events(env)
+    env.run()
+    assert env.pending_events() == _scan_pending_events(env) == 0
+
+
+def test_pending_events_double_cancel_counts_once():
+    env = Engine()
+    ev = env.timeout(5)
+    env.timeout(6)
+    ev.cancel()
+    ev.cancel()
+    assert env.pending_events() == 1
+
+
+def test_cancel_unscheduled_event_does_not_underflow():
+    env = Engine()
+    Event(env).cancel()  # pending, never in the heap
+    assert env.pending_events() == 0
+
+
+def test_fused_run_skips_cancelled_head():
+    env = Engine()
+    fired = []
+    a = env.timeout(1)
+    env.timeout(2).add_callback(lambda e: fired.append(2))
+    a.cancel()
+    assert env.run() == 1
+    assert fired == [2]
+    assert env.now == 2
+
+
+def test_run_until_with_only_cancelled_events_left():
+    # the heap drains (modulo cancelled residue) before `until`; like the
+    # pre-fusion peek()+step() loop, the clock stays at the last event
+    env = Engine()
+    a = env.timeout(20)
+    env.timeout(2)
+    a.cancel()
+    env.run(until=10)
+    assert env.now == 2
+    assert env.pending_events() == 0
