@@ -3,15 +3,17 @@
 #   make test          tier-1 test suite
 #   make bench         full figure-suite regeneration (pytest-benchmark)
 #   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
+#   make faults-smoke  fault-injection campaign, smoke scale (IFP table)
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
-# REPRO_CACHE_DIR (cache root).
+# REPRO_CACHE_DIR (cache root), REPRO_CELL_TIMEOUT (per-cell wall-clock
+# seconds), REPRO_CELL_RETRIES (crashed-worker retry rounds).
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke clean-cache
+.PHONY: test bench bench-smoke faults-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -21,6 +23,9 @@ bench:
 
 bench-smoke:
 	$(PY) -m repro.experiments.smoke
+
+faults-smoke:
+	$(PY) -m repro faults --seed 1 --smoke --no-cache
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

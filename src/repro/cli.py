@@ -10,6 +10,8 @@ Usage::
     awg-repro fig14 --no-cache      # force re-simulation of every cell
     awg-repro run SPM_G awg         # one benchmark under one policy
     awg-repro all                   # every experiment, in paper order
+    awg-repro faults --smoke        # fault-injection campaign (IFP table)
+    awg-repro faults --seed 7 --plans storm,chaos
     awg-repro cache                 # show result-cache location / size
     awg-repro cache --clear         # drop every cached result
 """
@@ -76,6 +78,28 @@ def _run_cache_command(clear: bool) -> int:
     return 0
 
 
+def _run_faults(opts, **matrix_kw) -> int:
+    from repro.experiments import faults_campaign
+    from repro.faults.plan import named_plan
+
+    plans = None
+    if opts.plans:
+        plans = [named_plan(name.strip(), seed=opts.seed)
+                 for name in opts.plans.split(",") if name.strip()]
+    started = time.time()
+    result = faults_campaign.run(
+        seed=opts.seed, smoke=opts.smoke or opts.quick, plans=plans,
+        **matrix_kw,
+    )
+    print(result.render())
+    print(f"[faults: {time.time() - started:.1f}s]")
+    if not result.ok:
+        print(f"FAILED: {len(result.violations)} IFP-contract violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_timeline() -> None:
     from repro.core.policies import awg, monnr_all, monnr_one, timeout
     from repro.experiments.timeline import render_timeline, trace_run
@@ -121,6 +145,13 @@ def main(argv=None) -> int:
     parser.add_argument("args", nargs="*", help="for 'run': BENCHMARK POLICY")
     parser.add_argument("--quick", action="store_true",
                         help="small-scale smoke configuration")
+    parser.add_argument("--smoke", action="store_true",
+                        help="for 'faults': two-benchmark smoke campaign")
+    parser.add_argument("--seed", type=int, default=1, metavar="N",
+                        help="for 'faults': root seed for the fault plans")
+    parser.add_argument("--plans", default=None, metavar="A,B,...",
+                        help="for 'faults': comma-separated plan names "
+                             "(default: all named plans)")
     parser.add_argument("--chart", action="store_true",
                         help="render figures as ASCII bar charts")
     parser.add_argument("--oversubscribed", action="store_true",
@@ -139,12 +170,18 @@ def main(argv=None) -> int:
     }
 
     if opts.command == "list":
+        from repro.faults.plan import plan_names
+
         print("experiments:", ", ".join(EXPERIMENTS))
-        print("extras:      ablations, timeline, cache")
+        print("extras:      ablations, faults, timeline, cache")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
+        print("fault plans:", ", ".join(plan_names()))
         return 0
+
+    if opts.command == "faults":
+        return _run_faults(opts, **matrix_kw)
 
     if opts.command == "cache":
         return _run_cache_command(opts.clear)

@@ -73,6 +73,17 @@ class ResumePredictor:
         self.predictions_all += 1
         return ResumeDecision.ALL
 
+    def live_addrs(self):
+        """Monitored addresses with a live unique-update estimate."""
+        return self._live.keys()
+
+    def perturb(self, addr: int, value: int) -> None:
+        """Fault injection: force a (likely spurious) unique-update
+        observation into ``addr``'s Bloom filter, skewing the next
+        resume-all/resume-one decision. Mispredictions must cost time
+        only — the straggler/backstop timers recover them."""
+        self.record_update(addr, value)
+
     def release(self, addr: int) -> None:
         """Condition met, all waiters resumed, address unmonitored: reset."""
         if addr in self._live:

@@ -47,6 +47,10 @@ class RegisterOutcome(enum.Enum):
 #: dispatcher hook: (wg_ids, cause, stagger_cycles) -> None
 ResumeHook = Callable[[List[int], str, int], None]
 
+#: fault-injection filter over outgoing notifies: returns the subset of
+#: wg_ids delivered now (see :mod:`repro.faults.injector`)
+NotifyFault = Callable[[List[int], str, int], List[int]]
+
 
 @dataclass
 class _ConditionEntry:
@@ -87,6 +91,7 @@ class SyncMon:
         )
         self.stall_predictor = StallTimePredictor()
         self.resume_hook: Optional[ResumeHook] = None
+        self.notify_fault: Optional[NotifyFault] = None
         # statistics (Fig 9 / Fig 13 / Table 2 inputs)
         self.registrations = 0
         self.spills = 0
@@ -333,6 +338,12 @@ class SyncMon:
         self.env.call_at(interval, _rescue)
 
     def _resume(self, wg_ids: List[int], cause: str, stagger: int) -> None:
+        if self.notify_fault is not None:
+            # Fault injection may drop or delay notifies; dropped waiters
+            # are recovered only by their backstop/straggler timers.
+            wg_ids = self.notify_fault(wg_ids, cause, stagger)
+            if not wg_ids:
+                return
         self.resumed_wgs += len(wg_ids)
         if self.resume_hook is not None:
             self.resume_hook(wg_ids, cause, stagger)

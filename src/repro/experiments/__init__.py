@@ -24,6 +24,8 @@ fig15       Figure 15 — oversubscribed speedup vs Timeout
 from repro.experiments.cache import ResultCache, default_cache
 from repro.experiments.matrix import (
     CellError,
+    CellTimeoutError,
+    MatrixError,
     MatrixResult,
     RunRequest,
     run_matrix,
@@ -40,7 +42,9 @@ from repro.experiments.runner import (
 
 __all__ = [
     "CellError",
+    "CellTimeoutError",
     "ExperimentResult",
+    "MatrixError",
     "MatrixResult",
     "OVERSUBSCRIBED",
     "PAPER_SCALE",

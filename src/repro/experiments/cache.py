@@ -48,6 +48,7 @@ RESULT_FIELDS = (
     "wg_running_cycles",
     "wg_waiting_cycles",
     "stats",
+    "diagnosis",
 )
 
 _FINGERPRINT: Optional[str] = None
@@ -102,6 +103,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: corrupted entries deleted and re-simulated (self-heal)
+        self.healed = 0
 
     # -- keys ----------------------------------------------------------
     def key_for(self, spec: Dict[str, Any]) -> str:
@@ -119,17 +122,34 @@ class ResultCache:
 
     # -- traffic -------------------------------------------------------
     def get(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or None (counted as a miss)."""
+        """The cached result for ``key``, or None (counted as a miss).
+
+        A present-but-unreadable entry (torn write from a killed
+        process, truncated disk, schema drift) self-heals: it is deleted
+        and treated as a miss, so the cell re-simulates and overwrites
+        it rather than failing every future sweep."""
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
+            payload = json.loads(path.read_text())
             result = RunResult(**payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
+            self.healed += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
 
     def put(self, key: str, result: RunResult) -> None:
+        """Persist one result atomically (temp file + fsync + rename), so
+        a concurrent reader or a crash mid-write never leaves a torn
+        entry behind."""
         if result.gpu is not None:
             raise ConfigError(
                 "refusing to cache a RunResult holding a GPU object; "
@@ -139,8 +159,15 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         body = {name: getattr(result, name) for name in RESULT_FIELDS}
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps({"result": body}, sort_keys=True))
-        tmp.replace(path)
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"result": body}, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stores += 1
 
     # -- maintenance ---------------------------------------------------

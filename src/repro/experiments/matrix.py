@@ -10,21 +10,46 @@ every normalized figure repeats), and returns results in deterministic
 request order with per-cell error capture — one failed cell does not
 abort the sweep.
 
+The runner survives misbehaving cells and workers:
+
+- Every cell gets a wall-clock budget (``cell_timeout`` /
+  ``REPRO_CELL_TIMEOUT`` seconds) enforced *inside* the worker with a
+  SIGALRM timer, so a hung simulation is reported as a
+  :class:`CellTimeoutError` failure instead of wedging the sweep, and
+  the worker process stays reusable.
+- A killed or crashed worker (``BrokenProcessPoolError``) loses only
+  the cells that had no result yet; completed cells are preserved and
+  the lost ones are resubmitted to a fresh pool with exponential
+  backoff, up to ``retries`` / ``REPRO_CELL_RETRIES`` extra attempts.
+- Failures come back as *structured* entries (exception type, message,
+  deadlock diagnosis when available, traceback) on
+  :attr:`MatrixResult.errors`, and figure code can degrade to partial
+  output via :meth:`MatrixResult.try_get`.
+
 Simulations are seeded and deterministic, so ``jobs=1`` and ``jobs=N``
 produce bit-identical :class:`RunResult` fields.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import math
 import os
+import signal
+import threading
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
+)
 
 from repro.core.policies import PolicySpec
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlockError, ReproError
 from repro.experiments.cache import ResultCache, default_cache
 from repro.experiments.runner import RunResult, Scenario, run_benchmark
 
@@ -47,9 +72,47 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
+def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-cell wall-clock budget in seconds: explicit arg, else
+    ``REPRO_CELL_TIMEOUT``; None or <= 0 means unlimited."""
+    if timeout is None:
+        env = os.environ.get("REPRO_CELL_TIMEOUT")
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_CELL_TIMEOUT must be a number of seconds, "
+                    f"got {env!r}")
+    if timeout is not None and timeout <= 0:
+        return None
+    return timeout
+
+
+def resolve_cell_retries(retries: Optional[int] = None) -> int:
+    """Extra attempts for cells lost to a crashed/hung worker: explicit
+    arg, else ``REPRO_CELL_RETRIES``, else 2."""
+    if retries is None:
+        env = os.environ.get("REPRO_CELL_RETRIES")
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_CELL_RETRIES must be an integer, got {env!r}")
+        else:
+            retries = 2
+    return max(0, retries)
+
+
 def _jsonable(value: Any) -> Any:
     if isinstance(value, enum.Enum):
         return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Nested dataclasses (e.g. a Scenario's FaultPlan): prefer their
+        # canonical spec() so cache keys survive repr changes.
+        spec = getattr(value, "spec", None)
+        return _jsonable(spec() if callable(spec) else _dataclass_spec(value))
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in sorted(value.items())}
     if isinstance(value, (list, tuple)):
@@ -97,34 +160,112 @@ class RunRequest:
         )
 
 
-class CellError(Exception):
-    """A matrix cell's simulation raised; carries the worker traceback."""
+class CellTimeoutError(ReproError):
+    """A matrix cell exceeded its wall-clock budget (``REPRO_CELL_TIMEOUT``)."""
 
-    def __init__(self, request: RunRequest, tb: str):
+
+class CellError(Exception):
+    """A matrix cell's simulation raised; carries the worker traceback
+    plus the structured failure record (see :func:`_failure_info`)."""
+
+    def __init__(self, request: RunRequest, tb: str,
+                 failure: Optional[Dict[str, Any]] = None):
         super().__init__(
             f"cell ({request.benchmark}, {request.policy.name}, "
             f"{request.scenario.label}) failed:\n{tb}"
         )
         self.request = request
         self.traceback = tb
+        self.failure = failure or {"type": "Exception", "message": "",
+                                   "traceback": tb}
 
 
 @dataclass
 class Cell:
-    """Outcome of one request: a result or a captured error."""
+    """Outcome of one request: a result or a structured failure."""
 
     request: RunRequest
     result: Optional[RunResult] = None
-    error: Optional[str] = None
+    #: structured failure record: ``type`` / ``message`` / ``traceback``,
+    #: plus ``cycle`` and ``diagnosis`` for watchdog deadlocks
+    failure: Optional[Dict[str, Any]] = None
     from_cache: bool = False
 
+    @property
+    def error(self) -> Optional[str]:
+        """The failure traceback (None for successful cells)."""
+        return self.failure["traceback"] if self.failure else None
 
-def _execute_cell(request: RunRequest) -> Tuple[Optional[RunResult], Optional[str]]:
-    """Pool worker: never raises — errors come back as tracebacks."""
+
+class MatrixError(NamedTuple):
+    """One :attr:`MatrixResult.errors` entry. Tuple-compatible with the
+    historical ``(index, request, traceback)`` shape, plus the
+    structured failure record."""
+
+    index: int
+    request: RunRequest
+    traceback: str
+    failure: Dict[str, Any]
+
+
+def _failure_info(exc: BaseException, tb: str) -> Dict[str, Any]:
+    """Structured, picklable record of one cell failure."""
+    info: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": tb,
+    }
+    if isinstance(exc, DeadlockError):
+        info["cycle"] = exc.cycle
+        info["diagnosis"] = exc.to_dict()
+    return info
+
+
+class _CellAlarm:
+    """SIGALRM wall-clock budget for one cell, armed inside the process
+    that simulates it (pool worker or the ``jobs=1`` main process).
+
+    An in-worker timer — unlike an outer future timeout — interrupts the
+    simulation loop itself, so the worker survives and is reused instead
+    of leaking a hung process. No-op when ``seconds`` is falsy, off the
+    main thread, or on platforms without ``signal.setitimer``.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self) -> "_CellAlarm":
+        if (not self.seconds
+                or threading.current_thread() is not threading.main_thread()
+                or not hasattr(signal, "setitimer")):
+            return self
+
+        def _fire(_signum, _frame):
+            raise CellTimeoutError(
+                f"cell exceeded its {self.seconds:g}s wall-clock budget")
+
+        self._previous = signal.signal(signal.SIGALRM, _fire)
+        signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        self.armed = True
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _execute_cell(
+    request: RunRequest, timeout: Optional[float] = None
+) -> Tuple[Optional[RunResult], Optional[Dict[str, Any]]]:
+    """Pool worker: never raises — failures come back structured."""
     try:
-        return request.execute(), None
-    except Exception:
-        return None, traceback.format_exc()
+        with _CellAlarm(timeout):
+            return request.execute(), None
+    except Exception as exc:
+        return None, _failure_info(exc, traceback.format_exc())
 
 
 class MatrixResult(Sequence):
@@ -149,14 +290,14 @@ class MatrixResult(Sequence):
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(len(self)))]
         cell = self.cells[index]
-        if cell.error is not None:
-            raise CellError(cell.request, cell.error)
+        if cell.failure is not None:
+            raise CellError(cell.request, cell.error, failure=cell.failure)
         return cell.result
 
     @property
-    def errors(self) -> List[Tuple[int, RunRequest, str]]:
-        return [(i, c.request, c.error)
-                for i, c in enumerate(self.cells) if c.error is not None]
+    def errors(self) -> List[MatrixError]:
+        return [MatrixError(i, c.request, c.error, c.failure)
+                for i, c in enumerate(self.cells) if c.failure is not None]
 
     def get(self, benchmark: str, policy_name: str) -> RunResult:
         """Result of the unique (benchmark, policy-name) cell.
@@ -177,6 +318,16 @@ class MatrixResult(Sequence):
             )
         return self[matches[0]]
 
+    def try_get(self, benchmark: str, policy_name: str,
+                default: Optional[RunResult] = None) -> Optional[RunResult]:
+        """Like :meth:`get` but returns ``default`` when the cell is
+        missing or failed — figure code uses this to degrade to partial
+        output when a sweep lost cells to crashes or timeouts."""
+        try:
+            return self.get(benchmark, policy_name)
+        except (KeyError, CellError):
+            return default
+
     def summary(self) -> str:
         """One line for experiment-report notes (hit/miss counters)."""
         return (
@@ -186,19 +337,112 @@ class MatrixResult(Sequence):
         )
 
 
+def _crash_failure(attempts: int) -> Dict[str, Any]:
+    message = (
+        f"worker process died or hung before returning a result "
+        f"(after {attempts} attempt{'s' if attempts != 1 else ''})"
+    )
+    return {"type": "WorkerCrashError", "message": message,
+            "traceback": message}
+
+
+def _run_cells(
+    requests: Sequence[RunRequest],
+    jobs: int,
+    cell_timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
+) -> List[Tuple[Optional[RunResult], Optional[Dict[str, Any]]]]:
+    """Execute cells, surviving hung cells and crashed workers.
+
+    A cell that raises (including :class:`CellTimeoutError` from its
+    in-worker alarm) is a deterministic failure and is recorded without
+    retry. A cell lost to pool breakage (worker killed, OOM, hard hang)
+    is infrastructure failure: everything already completed is kept and
+    the lost cells are resubmitted to a fresh pool, with exponential
+    backoff, up to ``retries`` extra rounds.
+    """
+    outcomes: List[Optional[Tuple[Optional[RunResult],
+                                  Optional[Dict[str, Any]]]]]
+    outcomes = [None] * len(requests)
+    if jobs <= 1 or len(requests) <= 1:
+        return [_execute_cell(req, cell_timeout) for req in requests]
+
+    remaining = list(range(len(requests)))
+    attempt = 1
+    while remaining:
+        lost: List[int] = []
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(remaining))) as pool:
+                futures = {
+                    pool.submit(_execute_cell, requests[i], cell_timeout): i
+                    for i in remaining
+                }
+                # Backstop only: the in-worker alarm is the real per-cell
+                # timeout; this catches a worker too wedged for SIGALRM.
+                deadline = (
+                    None if cell_timeout is None
+                    else cell_timeout * math.ceil(len(remaining) / jobs) + 30.0
+                )
+                try:
+                    for fut in as_completed(futures, timeout=deadline):
+                        index = futures[fut]
+                        try:
+                            outcomes[index] = fut.result()
+                        except BrokenProcessPool:
+                            lost.append(index)
+                        except Exception as exc:  # future-level failure
+                            outcomes[index] = (
+                                None,
+                                _failure_info(exc, traceback.format_exc()),
+                            )
+                except FuturesTimeoutError:
+                    # Force the wedged workers down so pool shutdown (and
+                    # interpreter exit) cannot hang on joining them.
+                    for proc in list(getattr(pool, "_processes", {}).values()):
+                        proc.kill()
+                    for fut, index in futures.items():
+                        if outcomes[index] is None and index not in lost:
+                            lost.append(index)
+        except BrokenProcessPool:
+            # The pool broke during submission; everything unfinished in
+            # this round is lost (completed outcomes are preserved).
+            lost = [i for i in remaining if outcomes[i] is None]
+
+        remaining = sorted(set(lost))
+        if not remaining:
+            break
+        if attempt > retries:
+            for index in remaining:
+                outcomes[index] = (None, _crash_failure(attempt))
+            break
+        time.sleep(retry_backoff * (2 ** (attempt - 1)))
+        attempt += 1
+    return outcomes  # type: ignore[return-value]
+
+
 def run_matrix(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
     cache: Union[ResultCache, str, None] = DEFAULT_CACHE,
     dedupe: bool = True,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    retry_backoff: float = 0.5,
 ) -> MatrixResult:
     """Execute every request, in parallel and through the cache.
 
     Results come back in request order regardless of completion order.
     ``cache`` is a :class:`ResultCache`, ``None`` (no caching), or the
     default sentinel (honours ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR``).
+    ``cell_timeout`` (seconds, default ``REPRO_CELL_TIMEOUT``) bounds
+    each cell's wall-clock time; ``retries`` (default
+    ``REPRO_CELL_RETRIES``) bounds resubmission after worker crashes.
     """
     jobs = resolve_jobs(jobs)
+    cell_timeout = resolve_cell_timeout(cell_timeout)
+    retries = resolve_cell_retries(retries)
     if cache == DEFAULT_CACHE:
         cache = default_cache()
     if jobs > 1 and any(req.keep_gpu for req in requests):
@@ -242,13 +486,10 @@ def run_matrix(
 
     # Execute the surviving unique cells.
     unique_requests = [req for (_key, req, _idx) in pending]
-    if jobs > 1 and len(unique_requests) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_execute_cell, unique_requests))
-    else:
-        outcomes = [_execute_cell(req) for req in unique_requests]
+    outcomes = _run_cells(unique_requests, jobs, cell_timeout,
+                          retries, retry_backoff)
 
-    for (key, req, indices), (result, error) in zip(pending, outcomes):
+    for (key, req, indices), (result, failure) in zip(pending, outcomes):
         if result is not None and key is not None and cache is not None:
             cache.put(key, result)
         for position, index in enumerate(indices):
@@ -258,7 +499,7 @@ def run_matrix(
                 cells[index] = Cell(req, result=replace(
                     result, stats=dict(result.stats)))
             else:
-                cells[index] = Cell(req, result=result, error=error)
+                cells[index] = Cell(req, result=result, failure=failure)
 
     return MatrixResult(
         [c for c in cells if c is not None],

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.policies import PolicySpec
+from repro.faults.plan import FaultPlan
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 from repro.gpu.preemption import ResourceLossEvent
@@ -26,6 +27,8 @@ class Scenario:
     resource_loss_at_us: Optional[float] = None
     deadlock_window: int = 300_000
     seed: int = 1
+    #: deterministic fault-injection schedule (None = fault-free)
+    fault_plan: Optional[FaultPlan] = None
 
     def params(self) -> BenchmarkParams:
         return BenchmarkParams(
@@ -36,12 +39,14 @@ class Scenario:
         )
 
     def config(self, **overrides) -> GPUConfig:
-        return GPUConfig(
+        base: Dict[str, Any] = dict(
             max_wgs_per_cu=self.max_wgs_per_cu,
             deadlock_window=self.deadlock_window,
             seed=self.seed,
-            **overrides,
+            fault_plan=self.fault_plan,
         )
+        base.update(overrides)
+        return GPUConfig(**base)
 
     def scaled(self, **kwargs) -> "Scenario":
         return replace(self, **kwargs)
@@ -101,6 +106,8 @@ class RunResult:
     wg_running_cycles: int
     wg_waiting_cycles: int
     stats: Dict[str, float] = field(default_factory=dict)
+    #: structured watchdog diagnosis for deadlocked/livelocked runs
+    diagnosis: Optional[Dict[str, Any]] = None
     gpu: Optional[GPU] = None
 
     @property
@@ -155,5 +162,6 @@ def run_benchmark(
         wg_running_cycles=outcome.wg_running_cycles,
         wg_waiting_cycles=outcome.wg_waiting_cycles,
         stats=stats,
+        diagnosis=outcome.diagnosis,
         gpu=gpu if keep_gpu else None,
     )

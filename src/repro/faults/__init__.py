@@ -1,0 +1,40 @@
+"""Deterministic, seeded fault injection (the robustness harness).
+
+The paper's claim is a robustness property: IFP policies must make
+forward progress under oversubscription and mid-kernel resource loss,
+while Baseline/Sleep must be *detected* deadlocking. This package
+throws adversarial, schedule-controlled stress at every policy:
+
+- :class:`FaultPlan` — a declarative, JSON-serializable schedule of
+  faults; every fault a run experiences is derived from ``(seed, plan)``
+  so any run is replayable bit-for-bit.
+- :class:`FaultInjector` — arms a plan on one :class:`~repro.gpu.gpu.GPU`
+  through the ``GPUConfig.fault_plan`` hook: preemption storms, dropped
+  or delayed SyncMon notifies, memory-latency spikes, and Bloom-filter
+  perturbation, each recorded in run stats under ``faults.*``.
+- :mod:`repro.faults.campaign` — sweeps fault plans × policies through
+  the experiment matrix and asserts the DESIGN.md IFP table empirically
+  (``python -m repro faults``).
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    MemSpikes,
+    NotifyFaults,
+    PredictorNoise,
+    PreemptionStorm,
+    named_plan,
+    plan_names,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "MemSpikes",
+    "NotifyFaults",
+    "PredictorNoise",
+    "PreemptionStorm",
+    "named_plan",
+    "plan_names",
+]

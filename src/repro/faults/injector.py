@@ -1,0 +1,169 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete simulation events on one GPU.
+
+Armed from ``GPU.__init__`` when ``config.fault_plan`` is set. All
+randomness flows from ``RngStream(plan.seed, "faults/...")`` — separate
+from the simulation's own streams, so the same workload seed with two
+different fault seeds experiences the same baseline schedule perturbed
+differently, and ``(seed, plan)`` fully determines the fault schedule.
+
+Everything injected is recorded in run stats under ``faults.*`` so a
+campaign report (and the result cache) can show exactly what a run was
+subjected to.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.core.policies import ResumeMode
+from repro.gpu.preemption import apply_resource_loss, apply_resource_restore
+from repro.sim.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.gpu.gpu import GPU
+
+
+class FaultInjector:
+    """Arms one fault plan on one GPU at construction time."""
+
+    def __init__(self, gpu: "GPU", plan: "FaultPlan") -> None:
+        self.gpu = gpu
+        self.plan = plan
+        self.rng = RngStream(plan.seed, "faults")
+        if plan.storm is not None and plan.storm.storms > 0:
+            self._arm_storms()
+        if plan.notify is not None and gpu.policy.uses_monitor:
+            self._arm_notify_faults()
+        if plan.mem is not None and plan.mem.spikes > 0:
+            self._arm_mem_spikes()
+        if (plan.predictor is not None
+                and gpu.policy.resume is ResumeMode.PREDICT):
+            self._arm_predictor_noise()
+
+    def _count(self, tag: str, n: int = 1) -> None:
+        self.gpu.stats.counter(f"faults.{tag}").incr(n)
+
+    # ------------------------------------------------------------------
+    # (a) preemption storms
+    # ------------------------------------------------------------------
+    def _arm_storms(self) -> None:
+        storm = self.plan.storm
+        rng = self.rng.child("storms")
+        cfg = self.gpu.config
+        at_us = storm.first_at_us
+        for _ in range(storm.storms):
+            self.gpu.env.call_at(
+                cfg.cycles(at_us), lambda: self._strike(storm.severity)
+            )
+            at_us += rng.uniform(storm.min_gap_us, storm.max_gap_us)
+
+    def _strike(self, severity: int) -> None:
+        """One storm: disable up to ``severity`` CUs, never the last
+        enabled one, victims drawn from the seeded stream."""
+        gpu = self.gpu
+        storm = self.plan.storm
+        rng = self.rng.child(f"strike@{gpu.env.now}")
+        enabled = [cu.cu_id for cu in gpu.cus if cu.enabled]
+        n = min(severity, len(enabled) - 1)
+        if n <= 0:
+            return
+        victims = sorted(rng.sample(enabled, n))
+        for cu_id in victims:
+            evicted = apply_resource_loss(gpu, cu_id)
+            self._count("storm.cu_losses")
+            self._count("storm.evictions", evicted)
+            if storm.restore_after_us is not None:
+                gpu.env.call_at(
+                    gpu.config.cycles(storm.restore_after_us),
+                    lambda c=cu_id: self._restore(c),
+                )
+
+    def _restore(self, cu_id: int) -> None:
+        apply_resource_restore(self.gpu, cu_id)
+        self._count("storm.cu_restores")
+
+    # ------------------------------------------------------------------
+    # (b) dropped / delayed SyncMon notifies
+    # ------------------------------------------------------------------
+    def _arm_notify_faults(self) -> None:
+        self._notify_rng = self.rng.child("notify")
+        self.gpu.syncmon.notify_fault = self._filter_notify
+
+    def _filter_notify(
+        self, wg_ids: List[int], cause: str, stagger: int
+    ) -> List[int]:
+        """SyncMon notify filter: returns the WGs delivered now; dropped
+        WGs are recovered only by their backstop/straggler timers, and
+        delayed WGs re-enter the (faulty) notify path later."""
+        faults = self.plan.notify
+        rng = self._notify_rng
+        syncmon = self.gpu.syncmon
+        deliver: List[int] = []
+        delayed: List[int] = []
+        for wg_id in wg_ids:
+            draw = rng.random()
+            if draw < faults.drop_prob:
+                self._count("notify.dropped")
+            elif draw < faults.drop_prob + faults.delay_prob:
+                delayed.append(wg_id)
+                self._count("notify.delayed")
+            else:
+                deliver.append(wg_id)
+        if delayed:
+            self.gpu.env.call_at(
+                faults.delay_cycles,
+                lambda ids=delayed: syncmon._resume(ids, cause, stagger),
+            )
+        return deliver
+
+    # ------------------------------------------------------------------
+    # (c) memory-latency spikes
+    # ------------------------------------------------------------------
+    def _arm_mem_spikes(self) -> None:
+        mem = self.plan.mem
+        rng = self.rng.child("mem")
+        cfg = self.gpu.config
+        at_us = mem.first_at_us
+        for _ in range(mem.spikes):
+            start = cfg.cycles(at_us)
+            self.gpu.env.call_at(start, lambda: self._spike(True))
+            self.gpu.env.call_at(
+                start + cfg.cycles(mem.duration_us),
+                lambda: self._spike(False),
+            )
+            at_us += rng.uniform(mem.min_gap_us, mem.max_gap_us)
+
+    def _spike(self, begin: bool) -> None:
+        hierarchy = self.gpu.hierarchy
+        if begin:
+            hierarchy.fault_extra_latency += self.plan.mem.extra_latency
+            self._count("mem.spikes")
+        else:
+            hierarchy.fault_extra_latency = max(
+                0, hierarchy.fault_extra_latency - self.plan.mem.extra_latency
+            )
+
+    # ------------------------------------------------------------------
+    # (d) resume-predictor / Bloom-filter perturbation
+    # ------------------------------------------------------------------
+    def _arm_predictor_noise(self) -> None:
+        self._predictor_rng = self.rng.child("predictor")
+        self._schedule_noise_tick()
+
+    def _schedule_noise_tick(self) -> None:
+        period = self.gpu.config.cycles(self.plan.predictor.period_us)
+        self.gpu.env.call_at(max(1, period), self._noise_tick)
+
+    def _noise_tick(self) -> None:
+        predictor = self.gpu.syncmon.predictor
+        rng = self._predictor_rng
+        live = sorted(predictor.live_addrs())
+        if live:
+            addr = rng.choice(live)
+            for _ in range(self.plan.predictor.insertions):
+                predictor.perturb(addr, rng.randint(0, 2**31 - 1))
+            self._count("bloom.perturbations",
+                        self.plan.predictor.insertions)
+        self._schedule_noise_tick()

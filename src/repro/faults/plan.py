@@ -1,0 +1,253 @@
+"""Fault plans: declarative, serializable fault schedules.
+
+A :class:`FaultPlan` says *what kinds* of faults to inject and with what
+intensity; the :class:`~repro.faults.injector.FaultInjector` turns it
+into concrete simulation events using a seeded RNG stream, so the exact
+fault schedule of any run is a pure function of ``(seed, plan)`` — a
+failing campaign cell can always be replayed.
+
+Plans are frozen dataclasses with a canonical :meth:`FaultPlan.spec` /
+:meth:`FaultPlan.from_spec` round trip, which is what the experiment
+matrix hashes into cell cache keys and what the campaign prints next to
+a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PreemptionStorm:
+    """Repeated mid-run resource loss (generalizing the §VI event).
+
+    ``storms`` loss events land starting at ``first_at_us``, separated by
+    gaps drawn uniformly from ``[min_gap_us, max_gap_us]``. Each storm
+    disables ``severity`` CUs (never the last enabled one) and evicts
+    their resident WGs; with ``restore_after_us`` set, each disabled CU
+    is re-enabled that long after its storm — which only helps policies
+    that can restore a context-switched WG.
+    """
+
+    storms: int = 2
+    first_at_us: float = 10.0
+    min_gap_us: float = 5.0
+    max_gap_us: float = 20.0
+    severity: int = 1
+    restore_after_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.storms < 0:
+            raise ConfigError("storms must be >= 0")
+        if self.severity < 1:
+            raise ConfigError("storm severity must be >= 1")
+        if self.min_gap_us > self.max_gap_us:
+            raise ConfigError("min_gap_us must be <= max_gap_us")
+
+
+@dataclass(frozen=True)
+class NotifyFaults:
+    """Drop or delay SyncMon resume notifications.
+
+    Stresses the MonRS/MonR window of vulnerability and the backstop
+    timeout: a dropped notify must be recovered by the waiter's backstop
+    (or straggler timer), never by luck. Probabilities are evaluated per
+    notified WG, in deterministic simulation order.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_cycles: int = 20_000
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_prob + self.delay_prob > 1.0:
+            raise ConfigError("drop_prob + delay_prob must be <= 1")
+        if self.delay_cycles < 0:
+            raise ConfigError("delay_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class MemSpikes:
+    """Transient memory-latency spikes in the hierarchy.
+
+    Every L2/DRAM access completing inside a spike window pays
+    ``extra_latency`` additional cycles — modelling thermal throttling or
+    co-runner interference, and perturbing every timing-sensitive race
+    (notify vs. atomic response, straggler timers) without changing any
+    functional outcome.
+    """
+
+    spikes: int = 2
+    first_at_us: float = 5.0
+    min_gap_us: float = 10.0
+    max_gap_us: float = 30.0
+    duration_us: float = 5.0
+    extra_latency: int = 200
+
+    def __post_init__(self) -> None:
+        if self.spikes < 0:
+            raise ConfigError("spikes must be >= 0")
+        if self.duration_us <= 0:
+            raise ConfigError("duration_us must be > 0")
+        if self.extra_latency < 0:
+            raise ConfigError("extra_latency must be >= 0")
+        if self.min_gap_us > self.max_gap_us:
+            raise ConfigError("min_gap_us must be <= max_gap_us")
+
+
+@dataclass(frozen=True)
+class PredictorNoise:
+    """Perturb the AWG resume predictor's counting Bloom filters.
+
+    Periodically inserts random values into the filter of a live
+    monitored address, inflating its unique-update estimate and skewing
+    resume-all/resume-one decisions. Mispredictions must cost time only
+    (recovered by the straggler/backstop timers), never correctness.
+    """
+
+    period_us: float = 10.0
+    insertions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ConfigError("period_us must be > 0")
+        if self.insertions < 1:
+            raise ConfigError("insertions must be >= 1")
+
+
+_PART_TYPES = {
+    "storm": PreemptionStorm,
+    "notify": NotifyFaults,
+    "mem": MemSpikes,
+    "predictor": PredictorNoise,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One complete fault schedule: any combination of the four fault
+    families, plus the seed the injector derives every draw from."""
+
+    name: str = "custom"
+    seed: int = 1
+    storm: Optional[PreemptionStorm] = None
+    notify: Optional[NotifyFaults] = None
+    mem: Optional[MemSpikes] = None
+    predictor: Optional[PredictorNoise] = None
+
+    @property
+    def causes_resource_loss(self) -> bool:
+        """Does this plan evict WGs mid-run? (The DESIGN.md IFP table
+        only predicts deadlock for non-IFP policies under resource
+        loss — a baseline GPU cannot restore a context-switched WG,
+        restored CU or not.)"""
+        return self.storm is not None and self.storm.storms > 0
+
+    @property
+    def is_noop(self) -> bool:
+        return not any((self.storm, self.notify, self.mem, self.predictor))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # -- canonical serialization (cache keys / replay) -----------------
+    def spec(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "seed": self.seed}
+        for key in _PART_TYPES:
+            part = getattr(self, key)
+            out[key] = asdict(part) if part is not None else None
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        kwargs: Dict[str, Any] = {
+            "name": spec.get("name", "custom"),
+            "seed": spec.get("seed", 1),
+        }
+        for key, part_cls in _PART_TYPES.items():
+            part = spec.get(key)
+            kwargs[key] = part_cls(**part) if part is not None else None
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [key for key in _PART_TYPES if getattr(self, key) is not None]
+        return f"{self.name}[{'+'.join(parts) if parts else 'no-op'}] seed={self.seed}"
+
+
+# ---------------------------------------------------------------------------
+# named plans (the campaign's standard adversaries)
+# ---------------------------------------------------------------------------
+
+def _named_plans() -> Dict[str, FaultPlan]:
+    return {
+        # control: no faults — every policy must complete
+        "calm": FaultPlan(name="calm"),
+        # the paper's §VI event, randomized and repeated, CUs restored
+        "storm": FaultPlan(
+            name="storm",
+            storm=PreemptionStorm(storms=2, first_at_us=5.0, min_gap_us=5.0,
+                                  max_gap_us=15.0, severity=1,
+                                  restore_after_us=10.0),
+        ),
+        # permanent loss of one CU (the original oversubscribed event)
+        "blackout": FaultPlan(
+            name="blackout",
+            storm=PreemptionStorm(storms=1, first_at_us=5.0, severity=1,
+                                  restore_after_us=None),
+        ),
+        # lost notifications: the backstop timeout must recover every WG
+        "notify-loss": FaultPlan(
+            name="notify-loss",
+            notify=NotifyFaults(drop_prob=0.25),
+        ),
+        # late notifications: stresses resume/atomic-response races
+        "notify-delay": FaultPlan(
+            name="notify-delay",
+            notify=NotifyFaults(delay_prob=0.5, delay_cycles=15_000),
+        ),
+        # co-runner interference in the memory hierarchy
+        "mem-spike": FaultPlan(
+            name="mem-spike",
+            mem=MemSpikes(spikes=3, first_at_us=3.0, min_gap_us=5.0,
+                          max_gap_us=15.0, duration_us=5.0,
+                          extra_latency=300),
+        ),
+        # resume-predictor sabotage: mispredictions may only cost time
+        "bloom-noise": FaultPlan(
+            name="bloom-noise",
+            predictor=PredictorNoise(period_us=5.0, insertions=8),
+        ),
+        # everything at once
+        "chaos": FaultPlan(
+            name="chaos",
+            storm=PreemptionStorm(storms=2, first_at_us=5.0, min_gap_us=8.0,
+                                  max_gap_us=20.0, severity=1,
+                                  restore_after_us=12.0),
+            notify=NotifyFaults(drop_prob=0.15, delay_prob=0.25,
+                                delay_cycles=10_000),
+            mem=MemSpikes(spikes=2, first_at_us=4.0, min_gap_us=10.0,
+                          max_gap_us=25.0, duration_us=4.0,
+                          extra_latency=250),
+            predictor=PredictorNoise(period_us=8.0, insertions=4),
+        ),
+    }
+
+
+def plan_names() -> List[str]:
+    """Registered plan names, campaign order."""
+    return list(_named_plans())
+
+
+def named_plan(name: str, seed: int = 1) -> FaultPlan:
+    """Look up a named plan and bind it to ``seed``."""
+    plans = _named_plans()
+    if name not in plans:
+        raise ConfigError(f"unknown fault plan {name!r}; known: {list(plans)}")
+    return plans[name].with_seed(seed)

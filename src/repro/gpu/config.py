@@ -10,9 +10,10 @@ one 32 KB 8-way instruction cache and one 16 KB 8-way scalar cache per
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -92,9 +93,15 @@ class GPUConfig:
     # -- run control ----------------------------------------------------------
     max_cycles: int = 50_000_000
     deadlock_window: int = 400_000
+    #: consecutive watchdog windows with progress events but no condition
+    #: advancement before declaring livelock (0 disables the check)
+    livelock_windows: int = 8
     seed: int = 1
     #: record every WG state transition (Figure 6 timeline rendering)
     trace_states: bool = False
+    #: deterministic fault-injection schedule (see :mod:`repro.faults`);
+    #: None runs fault-free
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_cus < 1:

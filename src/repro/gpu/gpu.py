@@ -11,15 +11,21 @@ declares deadlock, or the cycle budget is exhausted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.monitor_log import MonitorLog
 from repro.core.policies import PolicySpec
 from repro.core.syncmon import SyncMon
 from repro.errors import DeadlockError
+from repro.faults.injector import FaultInjector
 from repro.gpu.compute_unit import ComputeUnit
 from repro.gpu.config import GPUConfig
 from repro.gpu.command_processor import CommandProcessor
+from repro.gpu.diagnostics import (
+    build_stall_report,
+    classify_stagnation,
+    summarize_stalls,
+)
 from repro.gpu.dispatcher import Dispatcher
 from repro.gpu.kernel import Kernel, KernelLaunch
 from repro.gpu.wavefront import Wavefront
@@ -43,6 +49,9 @@ class RunOutcome:
     wg_running_cycles: int = 0
     wg_waiting_cycles: int = 0
     context_switches: int = 0
+    #: structured watchdog diagnosis (kind, reason, per-WG stall report);
+    #: None unless the run deadlocked or livelocked
+    diagnosis: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -80,11 +89,15 @@ class GPU:
         self.wgs: List[WorkGroup] = []
         self.launches: List[KernelLaunch] = []
         self.progress_count = 0
+        self.advancement_count = 0
         self._finished = 0
         self.resource_loss_applied = False
         #: (cycle, wg_id, WGState) transitions when config.trace_states
         self.state_trace: List[tuple] = []
         self._completion_holds = 0
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_plan is not None and not config.fault_plan.is_noop:
+            self.fault_injector = FaultInjector(self, config.fault_plan)
 
     # ------------------------------------------------------------------
     # memory helpers for workloads
@@ -126,7 +139,12 @@ class GPU:
     # progress and completion
     # ------------------------------------------------------------------
     def note_progress(self, tag: str = "progress") -> None:
+        """Semantic advancement: a condition met, a WG resumed or done.
+        Feeds both the deadlock watchdog and the livelock detector —
+        instruction execution alone (:meth:`note_execution`) does not
+        count as advancement."""
         self.progress_count += 1
+        self.advancement_count += 1
         self.stats.counter(f"progress.{tag}").incr()
 
     def note_execution(self) -> None:
@@ -165,6 +183,8 @@ class GPU:
         cfg = self.config
         env = self.env
         last_progress = -1
+        last_advance = -1
+        stagnant_windows = 0
         next_check = cfg.deadlock_window
         reason = "completed"
         deadlocked = False
@@ -182,10 +202,24 @@ class GPU:
                 break
             if env.now >= next_check:
                 if self.progress_count == last_progress:
+                    # No events of any kind: classic deadlock.
                     reason = "watchdog"
                     deadlocked = True
                     break
+                if cfg.livelock_windows > 0 and self.advancement_count == last_advance:
+                    # Instructions retire but no condition ever advances:
+                    # livelock (e.g. polling loops burning ALU cycles).
+                    # Requires several consecutive stagnant windows so a
+                    # long fault-free compute phase is not misdiagnosed.
+                    stagnant_windows += 1
+                    if stagnant_windows >= cfg.livelock_windows:
+                        reason = "livelock"
+                        deadlocked = True
+                        break
+                else:
+                    stagnant_windows = 0
                 last_progress = self.progress_count
+                last_advance = self.advancement_count
                 next_check = env.now + cfg.deadlock_window
             if not env.step():
                 if outstanding():
@@ -198,16 +232,42 @@ class GPU:
             # callbacks scheduled by the final WG's completion).
             env.run(until=env.now)
 
-        if deadlocked and raise_on_deadlock:
-            raise DeadlockError(
-                f"{self.policy.name}: {reason} at cycle {env.now} "
-                f"({self._finished}/{len(self.wgs)} WGs finished)",
-                cycle=env.now,
-            )
+        diagnosis: Optional[Dict[str, Any]] = None
+        if deadlocked:
+            stalls = build_stall_report(self)
+            kind = classify_stagnation(reason != "livelock")
+            diagnosis = {
+                "kind": kind,
+                "reason": reason,
+                "cycle": env.now,
+                "policy": self.policy.name,
+                "finished": self._finished,
+                "total": len(self.wgs),
+                "stalls": stalls,
+            }
+            if raise_on_deadlock:
+                raise DeadlockError(
+                    f"{self.policy.name}: {reason} at cycle {env.now} "
+                    f"({self._finished}/{len(self.wgs)} WGs finished); "
+                    f"{summarize_stalls(stalls)}",
+                    cycle=env.now,
+                    reason=reason,
+                    kind=kind,
+                    policy=self.policy.name,
+                    finished=self._finished,
+                    total=len(self.wgs),
+                    stall_report=stalls,
+                )
         return self._outcome(not deadlocked and not outstanding(),
-                             deadlocked, reason)
+                             deadlocked, reason, diagnosis)
 
-    def _outcome(self, completed: bool, deadlocked: bool, reason: str) -> RunOutcome:
+    def _outcome(
+        self,
+        completed: bool,
+        deadlocked: bool,
+        reason: str,
+        diagnosis: Optional[Dict[str, Any]] = None,
+    ) -> RunOutcome:
         running = 0
         waiting = 0
         switches = 0
@@ -234,4 +294,5 @@ class GPU:
             wg_running_cycles=running,
             wg_waiting_cycles=waiting,
             context_switches=switches,
+            diagnosis=diagnosis,
         )

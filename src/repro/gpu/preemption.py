@@ -6,6 +6,10 @@ time slice ending or a high-priority kernel preempting. The disabled CU's
 WGs are forcibly evicted; whether they can ever run again depends on the
 scheduling policy — busy-waiting residents never yield, so the Baseline
 deadlocks if an evicted WG held a lock or is needed for a barrier.
+
+:func:`apply_resource_loss` / :func:`apply_resource_restore` are the
+shared primitives; the scripted events below and the fault injector's
+preemption storms (:mod:`repro.faults.injector`) both build on them.
 """
 
 from __future__ import annotations
@@ -15,6 +19,30 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.gpu import GPU
+
+
+def apply_resource_loss(gpu: "GPU", cu_id: int) -> int:
+    """Disable one CU and evict its resident WGs; returns the number of
+    evicted WGs. Idempotent for an already-disabled CU."""
+    cu = gpu.cus[cu_id]
+    if not cu.enabled:
+        return 0
+    cu.disable()
+    # cu.resident is a set of WorkGroup objects (hashed by identity);
+    # evict in wg_id order so the eviction sequence — and everything
+    # downstream of it — is reproducible across processes and runs.
+    victims = sorted(cu.resident, key=lambda wg: wg.wg_id)
+    gpu.stats.counter("preemption.evictions").incr(len(victims))
+    for wg in victims:
+        wg.request_evict()
+    gpu.resource_loss_applied = True
+    return len(victims)
+
+
+def apply_resource_restore(gpu: "GPU", cu_id: int) -> None:
+    """Re-enable a previously disabled CU and let the dispatcher pack it."""
+    gpu.cus[cu_id].enable()
+    gpu.dispatcher.kick()
 
 
 @dataclass(frozen=True)
@@ -27,16 +55,7 @@ class ResourceLossEvent:
     def schedule(self, gpu: "GPU") -> None:
         cu_id = self.cu_id if self.cu_id is not None else gpu.config.num_cus - 1
         delay = gpu.config.cycles(self.at_us)
-        gpu.env.call_at(delay, lambda: self._apply(gpu, cu_id))
-
-    def _apply(self, gpu: "GPU", cu_id: int) -> None:
-        cu = gpu.cus[cu_id]
-        cu.disable()
-        victims = list(cu.resident)
-        gpu.stats.counter("preemption.evictions").incr(len(victims))
-        for wg in victims:
-            wg.request_evict()
-        gpu.resource_loss_applied = True
+        gpu.env.call_at(delay, lambda: apply_resource_loss(gpu, cu_id))
 
 
 @dataclass(frozen=True)
@@ -49,9 +68,4 @@ class ResourceRestoreEvent:
 
     def schedule(self, gpu: "GPU") -> None:
         delay = gpu.config.cycles(self.at_us)
-
-        def _apply() -> None:
-            gpu.cus[self.cu_id].enable()
-            gpu.dispatcher.kick()
-
-        gpu.env.call_at(delay, _apply)
+        gpu.env.call_at(delay, lambda: apply_resource_restore(gpu, self.cu_id))

@@ -63,6 +63,9 @@ class MemoryHierarchy:
         ]
         self.dram = FifoResource(env, "dram", slots=config.dram_channels)
         self.atomic_observer: Optional[AtomicObserver] = None
+        #: extra cycles added to every L2/DRAM completion while a fault-
+        #: injected memory-latency spike window is open (0 = no spike)
+        self.fault_extra_latency = 0
         # statistics
         self.atomic_count = 0
         self.load_count = 0
@@ -112,7 +115,7 @@ class MemoryHierarchy:
 
         def _at_l2(_ev: Event) -> None:
             hit = self.l2.access(addr)
-            latency = extra_latency + cfg.l2_latency
+            latency = extra_latency + cfg.l2_latency + self.fault_extra_latency
             if not hit:
                 dram_done = self.dram.service(cfg.dram_service)
 
@@ -174,7 +177,8 @@ class MemoryHierarchy:
             self._observe(res, wg_id)
             if l2_hook is not None:
                 l2_hook(res)
-            latency = cfg.l2_latency + (0 if hit else cfg.dram_latency)
+            latency = (cfg.l2_latency + (0 if hit else cfg.dram_latency)
+                       + self.fault_extra_latency)
             fin = self.env.timeout(latency)
             fin.add_callback(lambda _e: result.try_succeed(res))
 

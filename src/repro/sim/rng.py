@@ -30,6 +30,9 @@ class RngStream:
     def random(self) -> float:
         return self._rng.random()
 
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
     def choice(self, seq):
         return self._rng.choice(seq)
 

@@ -10,6 +10,9 @@ entry point the experiments and tests use.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -323,8 +326,70 @@ _register(BenchmarkSpec(
 ))
 
 
+# ---------------------------------------------------------------------------
+# stress benchmarks (matrix-runner fault drills, not paper workloads)
+# ---------------------------------------------------------------------------
+# Stress drills live in their own registry, NOT in BENCHMARKS: figure
+# code iterates BENCHMARKS and builds every entry, and a drill that
+# sleeps or SIGKILLs must never run there. They still resolve through
+# get_spec/build_benchmark in any process, including fresh pool
+# workers, which is what makes them usable as crash/timeout drills for
+# the experiment matrix.
+
+_STRESS_DRILLS: Dict[str, BenchmarkSpec] = {}
+
+
+def _register_stress(spec: BenchmarkSpec) -> None:
+    if spec.abbrev in _STRESS_DRILLS or spec.abbrev in BENCHMARKS:
+        raise ConfigError(f"duplicate benchmark {spec.abbrev}")
+    _STRESS_DRILLS[spec.abbrev] = spec
+
+#: path of a sentinel file; when present, building ``_KILL`` consumes it
+#: and SIGKILLs the worker (so the *retry* of the same cell succeeds)
+STRESS_KILL_ENV = "REPRO_STRESS_KILL"
+
+
+def _stress_builder(mode: str) -> Callable:
+    base = _mutex_builder(_spin, local_scope=False)
+
+    def build(spec: BenchmarkSpec, gpu: "GPU", params: BenchmarkParams) -> Kernel:
+        if mode == "hang":
+            # Wall-clock hang (not simulated time): exercises the
+            # per-cell SIGALRM budget, which interrupts the sleep.
+            time.sleep(3600)
+        elif mode == "kill":
+            sentinel = os.environ.get(STRESS_KILL_ENV)
+            if sentinel and os.path.exists(sentinel):
+                os.remove(sentinel)
+                os.kill(os.getpid(), signal.SIGKILL)
+        return base(spec, gpu, params)
+
+    return build
+
+
+_register_stress(BenchmarkSpec(
+    abbrev="_HANG", full_name="StressHang",
+    description="wall-clock hang; drills REPRO_CELL_TIMEOUT",
+    category="stress", scope="G",
+    builder=_stress_builder("hang"),
+    resources=_profile(7, 64, 0),
+    table2=Table2Row("-", "-", "-", "-", "-"),
+))
+_register_stress(BenchmarkSpec(
+    abbrev="_KILL", full_name="StressKill",
+    description="SIGKILLs its worker once; drills BrokenProcessPool recovery",
+    category="stress", scope="G",
+    builder=_stress_builder("kill"),
+    resources=_profile(7, 64, 0),
+    table2=Table2Row("-", "-", "-", "-", "-"),
+))
+
+
 def benchmark_names(category: Optional[str] = None) -> List[str]:
-    """Registered benchmark abbreviations, in Table 2 / figure order."""
+    """Registered benchmark abbreviations, in Table 2 / figure order.
+
+    Stress drills are excluded — they are matrix robustness fixtures,
+    not workloads."""
     return [
         name for name, spec in BENCHMARKS.items()
         if category is None or spec.category == category
@@ -332,9 +397,11 @@ def benchmark_names(category: Optional[str] = None) -> List[str]:
 
 
 def get_spec(name: str) -> BenchmarkSpec:
-    if name not in BENCHMARKS:
-        raise ConfigError(f"unknown benchmark {name!r}; known: {list(BENCHMARKS)}")
-    return BENCHMARKS[name]
+    if name in BENCHMARKS:
+        return BENCHMARKS[name]
+    if name in _STRESS_DRILLS:
+        return _STRESS_DRILLS[name]
+    raise ConfigError(f"unknown benchmark {name!r}; known: {list(BENCHMARKS)}")
 
 
 def build_benchmark(

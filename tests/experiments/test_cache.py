@@ -98,11 +98,59 @@ def test_round_trip_preserves_every_field(cache):
 
 def test_get_miss_and_corrupt_entry(cache, tmp_path):
     assert cache.get("0" * 64) is None
-    path = tmp_path / "ab" / ("a" * 64 + ".json")
+    assert cache.healed == 0  # a plain miss is not a heal
+    path = tmp_path / "aa" / ("a" * 64 + ".json")
     path.parent.mkdir(parents=True)
     path.write_text("{not json")
     assert cache.get("a" * 64) is None
     assert cache.misses == 2
+    assert cache.healed == 1  # ...but a corrupt entry is
+
+
+def test_corrupt_entry_self_heals(cache):
+    """A torn/truncated entry is deleted on read, so the cell
+    re-simulates and overwrites it instead of failing every sweep."""
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=1, completed=True, deadlocked=False, reason="completed",
+        atomics=0, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=0, wg_waiting_cycles=0,
+    )
+    key = "e" * 64
+    cache.put(key, result)
+    path = cache._path(key)
+    path.write_text(path.read_text()[:20])  # truncate: torn write
+    assert cache.get(key) is None
+    assert cache.healed == 1
+    assert not path.exists()  # deleted, not left to poison future reads
+    cache.put(key, result)    # and the slot is immediately reusable
+    assert cache.get(key).cycles == 1
+
+
+def test_put_is_atomic_leaves_no_temp_files(cache):
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=1, completed=True, deadlocked=False, reason="completed",
+        atomics=0, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=0, wg_waiting_cycles=0,
+    )
+    key = "f" * 64
+    cache.put(key, result)
+    entries = list(cache._path(key).parent.iterdir())
+    assert [p.name for p in entries] == [f"{key}.json"]
+
+
+def test_diagnosis_survives_the_round_trip(cache):
+    diagnosis = {"kind": "deadlock", "reason": "watchdog", "cycle": 42,
+                 "stalls": [{"wg_id": 3, "state": "switched_out"}]}
+    result = RunResult(
+        benchmark="SPM_G", policy="Baseline", scenario="quick",
+        cycles=42, completed=False, deadlocked=True, reason="watchdog",
+        atomics=0, waiting_atomics=0, context_switches=1,
+        wg_running_cycles=0, wg_waiting_cycles=0, diagnosis=diagnosis,
+    )
+    cache.put("9" * 64, result)
+    assert cache.get("9" * 64).diagnosis == diagnosis
 
 
 def test_put_refuses_gpu_handles(cache):

@@ -1,0 +1,60 @@
+"""The fault campaign: the IFP contract checked end to end."""
+
+import pytest
+
+from repro.core.policies import awg, baseline
+from repro.experiments import faults_campaign
+from repro.experiments.faults_campaign import CampaignResult, _expectation
+from repro.faults.plan import named_plan
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return faults_campaign.run(
+        seed=1, smoke=True,
+        benchmarks=["SPM_G"],
+        policies=[baseline(), awg()],
+        plans=[named_plan("calm"), named_plan("blackout")],
+        jobs=1, cache=None,
+    )
+
+
+def test_contract_holds(small_campaign):
+    assert isinstance(small_campaign, CampaignResult)
+    assert small_campaign.ok
+    assert small_campaign.violations == []
+
+
+def test_table_shows_cycles_and_failure_modes(small_campaign):
+    text = small_campaign.render()
+    assert "SPM_G × calm" in text
+    assert "SPM_G × blackout" in text
+    assert "DEADLOCK" in text          # Baseline under blackout
+    assert "IFP contract held" in text
+
+
+def test_matrix_cells_follow_the_expectation(small_campaign):
+    matrix = small_campaign.matrix
+    # order: plan -> bench -> policy, i.e. (calm: Baseline, AWG),
+    # (blackout: Baseline, AWG)
+    assert matrix[0].ok                 # Baseline, no faults
+    assert matrix[1].ok                 # AWG, no faults
+    assert matrix[2].deadlocked         # Baseline loses a CU for good
+    assert matrix[2].diagnosis is not None
+    assert matrix[3].ok                 # AWG restores the evicted WGs
+
+
+def test_campaign_is_deterministic():
+    kwargs = dict(seed=1, smoke=True, benchmarks=["SPM_G"],
+                  policies=[awg()], plans=[named_plan("storm")],
+                  jobs=1, cache=None)
+    a = faults_campaign.run(**kwargs)
+    b = faults_campaign.run(**kwargs)
+    assert a.render() == b.render()
+
+
+def test_expectation_table():
+    assert _expectation(awg(), named_plan("blackout")) == "complete"
+    assert _expectation(baseline(), named_plan("blackout")) == "deadlock"
+    assert _expectation(baseline(), named_plan("calm")) == "complete"
+    assert _expectation(baseline(), named_plan("notify-loss")) == "complete"

@@ -1,0 +1,66 @@
+"""Matrix-level coverage of the §VI resource-loss event across every
+registered policy: the DESIGN.md IFP table as one sweep.
+
+IFP policies must survive losing a CU mid-run; non-IFP policies must
+deadlock *detectably* — with a structured stall diagnosis naming the
+evicted WGs — because a baseline GPU cannot restore a context-switched
+WG.
+"""
+
+import pytest
+
+from repro.core.policies import all_policy_names, named_policy
+from repro.experiments.matrix import RunRequest, run_matrix
+from repro.experiments.runner import QUICK_SCALE
+
+#: tiny oversubscribed scenario. One WG per CU, so the lost CU (the
+#: highest-numbered one) is guaranteed to hold a victim under every
+#: policy, and the loss fires at 0.5 us — before any WG can finish.
+SCEN = QUICK_SCALE.scaled(
+    total_wgs=8, wgs_per_group=4, max_wgs_per_cu=1, iterations=1,
+    episodes=4, resource_loss_at_us=0.5, deadlock_window=100_000,
+    label="quick-loss",
+)
+
+POLICY_KEYS = list(all_policy_names())
+
+
+@pytest.fixture(scope="module")
+def loss_matrix():
+    requests = [
+        RunRequest("SPM_G", named_policy(key), SCEN, validate=False)
+        for key in POLICY_KEYS
+    ]
+    return run_matrix(requests, jobs=2, cache=None)
+
+
+def test_every_policy_has_a_cell(loss_matrix):
+    assert len(loss_matrix) == len(POLICY_KEYS)
+    assert not loss_matrix.errors  # deadlock is a result, not a cell error
+
+
+@pytest.mark.parametrize("key", POLICY_KEYS)
+def test_ifp_table_under_resource_loss(loss_matrix, key):
+    policy = named_policy(key)
+    res = loss_matrix[POLICY_KEYS.index(key)]
+    if policy.provides_ifp:
+        assert res.ok, f"{policy.name} must survive the resource loss"
+        assert res.diagnosis is None
+    else:
+        assert res.deadlocked, f"{policy.name} must deadlock, not complete"
+        diag = res.diagnosis
+        assert diag is not None and diag["kind"] == "deadlock"
+        evicted = [e for e in diag["stalls"]
+                   if e["state"] == "switched_out" and not e["resident"]]
+        assert evicted, "the diagnosis must name the evicted WGs"
+
+
+def test_non_ifp_deadlocks_are_distinct_runs(loss_matrix):
+    """Baseline and Sleep both deadlock, but at their own cycle counts —
+    the diagnosis reflects each policy's actual run, not a placeholder."""
+    by_key = {key: loss_matrix[i] for i, key in enumerate(POLICY_KEYS)}
+    dead = [res for res in by_key.values() if res.deadlocked]
+    assert len(dead) == sum(
+        1 for key in POLICY_KEYS if not named_policy(key).provides_ifp)
+    for res in dead:
+        assert res.diagnosis["cycle"] == res.cycles > 0

@@ -1,0 +1,133 @@
+"""The fault injector: determinism, arming rules, and recorded stats.
+
+The contract under test: the fault schedule of any run is a pure
+function of ``(seed, plan)``; fault families only arm on policies they
+can affect; and everything injected is visible in ``faults.*`` stats.
+"""
+
+import dataclasses
+
+from repro.core.policies import awg, baseline, monnr_all
+from repro.experiments.runner import QUICK_SCALE, run_benchmark
+from repro.faults.plan import (
+    FaultPlan, MemSpikes, NotifyFaults, PredictorNoise, PreemptionStorm,
+)
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+
+#: small enough to stay fast, long enough that early faults land mid-run
+SCEN = QUICK_SCALE.scaled(total_wgs=8, wgs_per_group=4, iterations=1,
+                          episodes=4)
+
+#: every fault family, scheduled early enough to land inside a tiny run
+FULL_PLAN = FaultPlan(
+    name="test-chaos",
+    seed=1,
+    storm=PreemptionStorm(storms=2, first_at_us=0.5, min_gap_us=0.5,
+                          max_gap_us=2.0, severity=1, restore_after_us=1.0),
+    notify=NotifyFaults(drop_prob=0.2, delay_prob=0.2, delay_cycles=2_000),
+    mem=MemSpikes(spikes=2, first_at_us=0.5, min_gap_us=1.0, max_gap_us=3.0,
+                  duration_us=1.0, extra_latency=200),
+    predictor=PredictorNoise(period_us=0.5, insertions=4),
+)
+
+
+def _run(policy, plan, benchmark="SPM_G"):
+    return run_benchmark(benchmark, policy,
+                         SCEN.scaled(fault_plan=plan), validate=False)
+
+
+def _fields(res):
+    return {f.name: getattr(res, f.name)
+            for f in dataclasses.fields(res) if f.name != "gpu"}
+
+
+def test_same_seed_and_plan_bit_identical():
+    a = _run(awg(), FULL_PLAN)
+    b = _run(awg(), FULL_PLAN)
+    assert _fields(a) == _fields(b)
+
+
+def test_different_fault_seed_changes_the_schedule():
+    a = _run(awg(), FULL_PLAN)
+    b = _run(awg(), FULL_PLAN.with_seed(2))
+    assert _fields(a) != _fields(b)
+
+
+def test_all_fault_families_recorded_in_stats():
+    res = _run(awg(), FULL_PLAN)
+    assert res.ok  # AWG provides IFP: faults cost cycles, not progress
+    assert res.stats.get("faults.storm.cu_losses", 0) >= 1
+    assert res.stats.get("faults.storm.cu_restores", 0) >= 1
+    assert res.stats.get("faults.mem.spikes", 0) == 2
+
+
+def test_blackout_has_no_restores():
+    plan = FaultPlan(
+        name="test-blackout", seed=1,
+        storm=PreemptionStorm(storms=1, first_at_us=0.5, severity=1,
+                              restore_after_us=None),
+    )
+    res = _run(awg(), plan)
+    assert res.ok
+    assert res.stats.get("faults.storm.cu_losses", 0) == 1
+    assert "faults.storm.cu_restores" not in res.stats
+
+
+def test_storm_deadlocks_baseline_but_not_awg():
+    plan = FaultPlan(
+        name="test-storm", seed=1,
+        storm=PreemptionStorm(storms=1, first_at_us=0.5, severity=1,
+                              restore_after_us=1.0),
+    )
+    dead = _run(baseline(), plan)
+    assert dead.deadlocked  # CU restored, but Baseline cannot restore WGs
+    assert dead.diagnosis is not None
+    alive = _run(awg(), plan)
+    assert alive.ok
+
+
+def test_dropped_notifies_recovered_by_backstop():
+    plan = FaultPlan(name="test-drop", seed=1,
+                     notify=NotifyFaults(drop_prob=1.0))
+    res = _run(awg(), plan)
+    assert res.ok  # every notify dropped; the backstop timer recovers all
+    assert res.stats.get("faults.notify.dropped", 0) >= 1
+
+
+def test_notify_faults_not_armed_without_a_monitor():
+    plan = FaultPlan(name="test-drop", seed=1,
+                     notify=NotifyFaults(drop_prob=1.0))
+    res = _run(baseline(), plan)
+    assert res.ok  # busy-waiting never notifies, so nothing to drop
+    assert "faults.notify.dropped" not in res.stats
+
+
+def test_predictor_noise_only_arms_on_predicting_policies():
+    plan = FaultPlan(name="test-noise", seed=1,
+                     predictor=PredictorNoise(period_us=0.25, insertions=4))
+    perturbed = _run(awg(), plan)
+    assert perturbed.ok  # mispredictions cost time only, never progress
+    assert perturbed.stats.get("faults.bloom.perturbations", 0) >= 1
+    fixed = _run(monnr_all(), plan)
+    assert fixed.ok
+    assert "faults.bloom.perturbations" not in fixed.stats
+
+
+def test_mem_spikes_slow_the_run_down():
+    plan = FaultPlan(
+        name="test-mem", seed=1,
+        mem=MemSpikes(spikes=2, first_at_us=0.5, min_gap_us=1.0,
+                      max_gap_us=2.0, duration_us=2.0, extra_latency=500),
+    )
+    calm = _run(awg(), FaultPlan(name="calm"))
+    spiked = _run(awg(), plan)
+    assert spiked.ok
+    assert spiked.cycles > calm.cycles
+
+
+def test_noop_plan_arms_no_injector():
+    gpu = GPU(GPUConfig(fault_plan=FaultPlan(name="calm")), awg())
+    assert gpu.fault_injector is None
+    armed = GPU(GPUConfig(fault_plan=FULL_PLAN), awg())
+    assert armed.fault_injector is not None

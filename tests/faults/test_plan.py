@@ -1,0 +1,83 @@
+"""Fault-plan validation and canonical serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    FaultPlan, MemSpikes, NotifyFaults, PredictorNoise, PreemptionStorm,
+    named_plan, plan_names,
+)
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: PreemptionStorm(storms=-1),
+    lambda: PreemptionStorm(severity=0),
+    lambda: PreemptionStorm(min_gap_us=10.0, max_gap_us=5.0),
+    lambda: NotifyFaults(drop_prob=1.5),
+    lambda: NotifyFaults(drop_prob=-0.1),
+    lambda: NotifyFaults(drop_prob=0.7, delay_prob=0.7),
+    lambda: NotifyFaults(delay_cycles=-1),
+    lambda: MemSpikes(spikes=-1),
+    lambda: MemSpikes(duration_us=0.0),
+    lambda: MemSpikes(extra_latency=-5),
+    lambda: MemSpikes(min_gap_us=9.0, max_gap_us=1.0),
+    lambda: PredictorNoise(period_us=0.0),
+    lambda: PredictorNoise(insertions=0),
+])
+def test_invalid_parts_rejected(bad):
+    with pytest.raises(ConfigError):
+        bad()
+
+
+def test_plan_names_cover_the_campaign_adversaries():
+    names = plan_names()
+    assert names[0] == "calm"  # the control comes first
+    for expected in ("storm", "blackout", "notify-loss", "notify-delay",
+                     "mem-spike", "bloom-noise", "chaos"):
+        assert expected in names
+
+
+def test_named_plan_binds_seed():
+    plan = named_plan("storm", seed=7)
+    assert plan.seed == 7
+    assert plan.name == "storm"
+    rebound = plan.with_seed(9)
+    assert rebound.seed == 9
+    assert plan.seed == 7  # frozen: with_seed returns a new plan
+
+
+def test_named_plan_unknown_name():
+    with pytest.raises(ConfigError, match="unknown fault plan"):
+        named_plan("earthquake")
+
+
+def test_resource_loss_and_noop_flags():
+    assert named_plan("calm").is_noop
+    assert not named_plan("calm").causes_resource_loss
+    assert named_plan("storm").causes_resource_loss
+    assert named_plan("blackout").causes_resource_loss
+    assert named_plan("chaos").causes_resource_loss
+    for name in ("notify-loss", "notify-delay", "mem-spike", "bloom-noise"):
+        assert not named_plan(name).causes_resource_loss
+        assert not named_plan(name).is_noop
+    # a storm part with zero storms does not evict anything
+    assert not FaultPlan(storm=PreemptionStorm(storms=0)).causes_resource_loss
+
+
+@pytest.mark.parametrize("name", plan_names())
+def test_spec_round_trip_is_lossless_and_json_safe(name):
+    plan = named_plan(name, seed=5)
+    spec = plan.spec()
+    # the spec is what cache keys hash: it must survive JSON
+    assert FaultPlan.from_spec(json.loads(json.dumps(spec))) == plan
+    assert FaultPlan.from_spec(spec) == plan
+
+
+def test_describe_names_active_parts():
+    assert "no-op" in named_plan("calm").describe()
+    chaos = named_plan("chaos", seed=3).describe()
+    for part in ("storm", "notify", "mem", "predictor"):
+        assert part in chaos
+    assert "seed=3" in chaos

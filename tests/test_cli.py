@@ -11,6 +11,24 @@ def test_list(capsys):
     assert "fig14" in out
     assert "SPM_G" in out
     assert "awg" in out
+    assert "faults" in out
+    assert "chaos" in out  # fault plans are listed too
+    assert "_HANG" not in out  # stress drills never surface
+
+
+def test_faults_command(capsys):
+    assert main(["faults", "--smoke", "--no-cache", "--jobs", "2",
+                 "--plans", "calm,blackout", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Fault campaign (seed=3" in out
+    assert "IFP contract held" in out
+    assert "DEADLOCK" in out  # Baseline under blackout
+
+
+def test_faults_command_unknown_plan():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError, match="unknown fault plan"):
+        main(["faults", "--smoke", "--no-cache", "--plans", "earthquake"])
 
 
 def test_experiment_registry_covers_all_artifacts():
