@@ -1,6 +1,7 @@
 # Convenience targets for the AWG reproduction.
 #
 #   make test          tier-1 test suite
+#   make lint          static kernel linter over workloads/sync/examples
 #   make bench         full figure-suite regeneration (pytest-benchmark)
 #   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
 #   make faults-smoke  fault-injection campaign, smoke scale (IFP table)
@@ -13,10 +14,14 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke faults-smoke clean-cache
+.PHONY: test lint bench bench-smoke faults-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
+
+lint:
+	$(PY) -m repro lint --baseline lint-baseline.json \
+		src/repro/workloads src/repro/sync examples
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -1,0 +1,37 @@
+"""Correctness tooling for the kernel DSL: static linter + sync sanitizer.
+
+Two cooperating halves guard the growing workload registry against the
+progress and synchronization bugs the paper is about:
+
+- :mod:`repro.analysis.linter` — a stdlib-``ast`` linter over kernel
+  bodies and sync primitives. Its rules (:mod:`repro.analysis.rules`)
+  catch dropped device-op generators, raw busy-wait poll loops (the §IV
+  IFP violation), check-then-wait patterns that re-open the §IV.C window
+  of vulnerability, divergent ``__syncthreads``, and unprotected
+  read-modify-writes on shared memory — before a simulation ever runs.
+- :mod:`repro.analysis.sanitizer` — an opt-in
+  (:attr:`~repro.gpu.config.GPUConfig.sanitize`) dynamic detector that
+  maintains per-WG vector clocks and locksets over the memory hierarchy's
+  plain loads/stores, deriving happens-before edges from the atomics
+  performed at the L2, and reports unsynchronized conflicting accesses
+  as ``sanitizer.*`` stats plus a machine-readable race report.
+
+Surface: ``python -m repro lint [--json] [paths]`` and
+``python -m repro sanitize <benchmark>``.
+"""
+
+from repro.analysis.findings import Finding, SEVERITIES
+from repro.analysis.linter import LintReport, lint_paths, lint_source
+from repro.analysis.rules import RULES, Rule
+from repro.analysis.sanitizer import SyncSanitizer
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "SyncSanitizer",
+    "lint_paths",
+    "lint_source",
+]

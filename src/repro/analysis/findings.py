@@ -1,0 +1,39 @@
+"""Lint findings: the structured unit both the CLI and tests consume."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored as given to the linter (relative paths in, relative
+    paths out) so baselines stay stable across checkouts.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    function: str = ""
+
+    def baseline_key(self) -> Dict[str, Any]:
+        """The identity a baseline entry matches on."""
+        return {"rule": self.rule_id, "path": self.path, "line": self.line}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        tail = f" (hint: {self.hint})" if self.hint else ""
+        return f"{where}: [{self.rule_id}] {self.severity}: {self.message}{tail}"

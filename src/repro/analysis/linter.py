@@ -1,0 +1,196 @@
+"""Linter driver: file discovery, suppression, baseline, CLI rendering.
+
+Suppression: append ``# repro: noqa`` to the finding's line to silence
+every rule there, or ``# repro: noqa[rule-a,rule-b]`` for specific rules.
+
+Baseline: a JSON file of known findings (``{"findings": [{"rule", "path",
+"line"}, ...]}``). Findings matching a baseline entry are reported
+separately and do not fail the run — CI fails only on *new* findings.
+Regenerate with ``python -m repro lint --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, iter_kernel_functions
+
+#: default lint targets, relative to the repository root
+DEFAULT_PATHS = ("src/repro/workloads", "src/repro/sync", "examples")
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, partitioned by disposition."""
+
+    findings: List[Finding] = field(default_factory=list)  # actionable
+    suppressed: List[Finding] = field(default_factory=list)  # noqa'd
+    baselined: List[Finding] = field(default_factory=list)  # known
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def all_findings(self) -> List[Finding]:
+        return [*self.findings, *self.baselined]
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "rules": sorted(RULES),
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule_id))]
+        errors = sum(1 for f in self.findings if f.severity == "error")
+        warnings = len(self.findings) - errors
+        lines.append(
+            f"{self.files_scanned} file(s) scanned: {errors} error(s), "
+            f"{warnings} warning(s)"
+            + (f", {len(self.suppressed)} suppressed" if self.suppressed else "")
+            + (f", {len(self.baselined)} baselined" if self.baselined else "")
+        )
+        return "\n".join(lines)
+
+
+def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> suppressed rule ids (None = all rules)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[i] = None
+        else:
+            out[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+def lint_source(source: str, path: str) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file's source; returns ``(active, suppressed)`` findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule_id="syntax-error", severity="error", path=path,
+            line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error before the kernel rules can run",
+        )], []
+    findings: List[Finding] = []
+    for kfn in iter_kernel_functions(tree, path):
+        for rule in RULES.values():
+            findings.extend(rule.check(kfn))
+    noqa = _noqa_map(source)
+
+    def is_suppressed(f: Finding) -> bool:
+        if f.line not in noqa:
+            return False
+        rules_here = noqa[f.line]
+        return rules_here is None or f.rule_id in rules_here
+
+    active = [f for f in findings if not is_suppressed(f)]
+    suppressed = [f for f in findings if is_suppressed(f)]
+    return active, suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", ".pytest_cache"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".py"):
+            yield path
+
+
+def load_baseline(path: Optional[str]) -> List[Dict]:
+    if not path or not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return list(data.get("findings", []))
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    entries = sorted(
+        (f.baseline_key() for f in findings),
+        key=lambda e: (e["path"], e["line"], e["rule"]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "findings": entries}, fh, indent=2)
+        fh.write("\n")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and partition the results."""
+    report = LintReport()
+    baseline = load_baseline(baseline_path)
+    baseline_keys = {(e["rule"], e["path"], e["line"]) for e in baseline}
+    for filename in iter_python_files(paths):
+        report.files_scanned += 1
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            report.findings.append(Finding(
+                rule_id="io-error", severity="error", path=filename,
+                line=1, col=1, message=f"cannot read file: {exc}", hint=""))
+            continue
+        active, suppressed = lint_source(source, filename)
+        report.suppressed.extend(suppressed)
+        for f in active:
+            if (f.rule_id, f.path, f.line) in baseline_keys:
+                report.baselined.append(f)
+            else:
+                report.findings.append(f)
+    return report
+
+
+def run_lint(
+    paths: Sequence[str],
+    json_out: bool = False,
+    baseline_path: Optional[str] = None,
+    write_baseline_path: Optional[str] = None,
+    stream=None,
+) -> int:
+    """CLI entry point for ``python -m repro lint``; returns exit status."""
+    stream = stream if stream is not None else sys.stdout
+    targets = list(paths) if paths else [
+        p for p in DEFAULT_PATHS if os.path.exists(p)]
+    if not targets:
+        print("lint: no paths given and no default paths found", file=stream)
+        return 2
+    report = lint_paths(targets, baseline_path=baseline_path)
+    if write_baseline_path:
+        write_baseline(write_baseline_path, report.all_findings())
+        print(f"wrote {len(report.all_findings())} finding(s) to "
+              f"{write_baseline_path}", file=stream)
+        return 0
+    if json_out:
+        print(json.dumps(report.to_dict(), indent=2), file=stream)
+    else:
+        print(report.render(), file=stream)
+    return 0 if report.ok else 1

@@ -1,0 +1,453 @@
+"""The lint rule registry and the five kernel rules.
+
+Kernels in this repository are Python generators programmed against
+:class:`~repro.gpu.device_api.WavefrontCtx`; every device operation and
+every sync-primitive method (``mutex.acquire(ctx)``, ``barrier.arrive(
+ctx, ...)``) is itself a generator that must be driven with ``yield
+from``. The rules below analyze exactly that DSL: they only fire inside
+*kernel functions* — functions that take a ``ctx`` parameter (or one
+annotated ``WavefrontCtx``) or that call ``ctx`` device ops.
+
+Each rule is registered with an id, a severity, a fix hint and the paper
+section that motivates it; ``# repro: noqa[rule-id]`` on the offending
+line suppresses a finding (see :mod:`repro.analysis.linter`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import SEVERITIES, Finding
+
+# -- the device DSL surface ---------------------------------------------------
+
+#: ctx methods that return generators and must be driven with ``yield from``.
+DEVICE_GEN_OPS = frozenset({
+    "compute", "load", "store", "lds_read", "lds_write", "s_sleep",
+    "syncthreads", "atomic", "atomic_load", "atomic_add", "atomic_sub",
+    "atomic_exch", "atomic_store", "atomic_cas", "sync_wait",
+    "acquire_test_and_set", "wait_for_value",
+})
+
+#: ctx methods that are plain calls (no generator, no ``yield from``).
+CTX_PLAIN_OPS = frozenset({"progress"})
+
+#: the blessed waiting entry points — lowered by the active policy.
+WAIT_OPS = frozenset({"sync_wait", "wait_for_value", "acquire_test_and_set"})
+
+#: ctx reads a loop can poll on (the busy-wait ingredients).
+POLL_OPS = frozenset({
+    "load", "atomic", "atomic_load", "atomic_add", "atomic_sub",
+    "atomic_exch", "atomic_cas",
+})
+
+#: read-modify-write ops whose failure + separate wait re-opens §IV.C.
+RMW_OPS = frozenset({"atomic_add", "atomic_sub", "atomic_exch", "atomic_cas"})
+
+#: sync-primitive methods that suspend/advance execution when given a ctx.
+SYNC_ENTRY_METHODS = frozenset({"acquire", "arrive", "join", "group_size"})
+
+#: identifiers that make a condition wavefront-divergent (syncthreads is
+#: WG-local, so only wavefront-level identity matters — not wg_id).
+DIVERGENT_NAMES = frozenset({"is_master", "wf_id"})
+
+#: identifiers that mark an address expression as WG-private.
+PRIVATE_NAMES = frozenset({"grid_index", "wg_id", "wf_id"})
+
+
+# -- kernel-function model ----------------------------------------------------
+
+def _annotation_mentions_ctx(node: ast.arg) -> bool:
+    ann = node.annotation
+    if ann is None:
+        return False
+    try:
+        text = ast.unparse(ann)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return "WavefrontCtx" in text
+
+
+def _ctx_param_names(fn: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "ctx" or _annotation_mentions_ctx(arg):
+            names.add(arg.arg)
+    return names
+
+
+@dataclass
+class KernelFunction:
+    """One function that executes device code, with its own AST subset.
+
+    ``nodes`` excludes the subtrees of nested function definitions — each
+    nested ``def`` is analyzed as its own :class:`KernelFunction`.
+    """
+
+    node: ast.FunctionDef
+    path: str
+    ctx_names: Set[str]
+    nodes: List[ast.AST] = field(default_factory=list)
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node`` up to (and excluding) the function def."""
+        cur = self.parents.get(id(node))
+        while cur is not None and cur is not self.node:
+            yield cur
+            cur = self.parents.get(id(cur))
+
+
+def _collect_own(fn: ast.FunctionDef) -> Tuple[List[ast.AST], Dict[int, ast.AST]]:
+    """Walk ``fn`` without descending into nested function definitions."""
+    nodes: List[ast.AST] = []
+    parents: Dict[int, ast.AST] = {}
+    stack: List[ast.AST] = [fn]
+    while stack:
+        cur = stack.pop()
+        for child in ast.iter_child_nodes(cur):
+            parents[id(child)] = cur
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            nodes.append(child)
+            stack.append(child)
+    return nodes, parents
+
+
+def iter_kernel_functions(tree: ast.Module, path: str) -> Iterator[KernelFunction]:
+    """Every function in ``tree`` that looks like kernel/device code."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        ctx_names = _ctx_param_names(node)
+        nodes, parents = _collect_own(node)
+        if not ctx_names:
+            # Fall back: closures over an outer `ctx` name still count.
+            if not any(isinstance(n, ast.Name) and n.id == "ctx" for n in nodes):
+                continue
+            ctx_names = {"ctx"}
+        yield KernelFunction(node=node, path=path, ctx_names=ctx_names,
+                             nodes=nodes, parents=parents)
+
+
+# -- device-call classification -----------------------------------------------
+
+def _is_ctx_name(node: ast.AST, ctx_names: Set[str]) -> bool:
+    return isinstance(node, ast.Name) and node.id in ctx_names
+
+
+def classify_call(call: ast.Call, ctx_names: Set[str]) -> Optional[Tuple[str, str]]:
+    """Classify a call as a device-op generator.
+
+    Returns ``("ctx", op)`` for ``ctx.<device op>(...)``, ``("sync",
+    method)`` for a call that passes a bare ctx argument (sync-primitive
+    methods and kernel helper generators), or ``None`` for host code.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute) and _is_ctx_name(func.value, ctx_names):
+        if func.attr in DEVICE_GEN_OPS:
+            return ("ctx", func.attr)
+        return None  # ctx.progress(...) and properties need no yield from
+    if any(_is_ctx_name(arg, ctx_names) for arg in call.args):
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "<call>")
+        return ("sync", name)
+    return None
+
+
+def _device_calls(kfn: KernelFunction) -> Iterator[Tuple[ast.Call, str, str]]:
+    for node in kfn.nodes:
+        if isinstance(node, ast.Call):
+            kind = classify_call(node, kfn.ctx_names)
+            if kind is not None:
+                yield node, kind[0], kind[1]
+
+
+def _addr_arg(call: ast.Call, op: str) -> Optional[ast.AST]:
+    """The address operand of a ctx memory op (``atomic`` carries the op
+    enum first; every other op leads with the address)."""
+    idx = 1 if op == "atomic" else 0
+    if len(call.args) > idx:
+        return call.args[idx]
+    for kw in call.keywords:
+        if kw.arg == "addr":
+            return kw.value
+    return None
+
+
+def _dump(node: Optional[ast.AST]) -> str:
+    return ast.dump(node) if node is not None else "<none>"
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+# -- rule framework -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    severity: str
+    summary: str
+    hint: str
+    paper_ref: str
+    check: Callable[[KernelFunction], Iterator[Finding]]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_id: str, severity: str, summary: str, hint: str,
+             paper_ref: str) -> Callable:
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def deco(fn: Callable[[KernelFunction], Iterator[Finding]]) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule {rule_id}")
+        RULES[rule_id] = Rule(rule_id=rule_id, severity=severity,
+                              summary=summary, hint=hint,
+                              paper_ref=paper_ref, check=fn)
+        return fn
+
+    return deco
+
+
+def _finding(rule_id: str, kfn: KernelFunction, node: ast.AST,
+             message: str) -> Finding:
+    rule = RULES[rule_id]
+    return Finding(
+        rule_id=rule_id,
+        severity=rule.severity,
+        path=kfn.path,
+        line=getattr(node, "lineno", kfn.node.lineno),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        hint=rule.hint,
+        function=kfn.name,
+    )
+
+
+# -- rule 1: missing-yield-from ----------------------------------------------
+
+@register(
+    "missing-yield-from", "error",
+    "a device-op generator is called but never driven",
+    "drive device ops with `result = yield from ctx.<op>(...)`; a bare "
+    "call builds a generator and silently discards the operation",
+    "DSL contract",
+)
+def check_missing_yield_from(kfn: KernelFunction) -> Iterator[Finding]:
+    for call, kind, name in _device_calls(kfn):
+        delegated = False
+        for anc in kfn.parent_chain(call):
+            if isinstance(anc, (ast.YieldFrom, ast.Await)):
+                delegated = True
+                break
+            if isinstance(anc, ast.Return):
+                delegated = True  # `return ctx.op(...)` delegates to the caller
+                break
+            if isinstance(anc, ast.stmt):
+                break
+        if not delegated:
+            label = f"ctx.{name}" if kind == "ctx" else f"{name}(ctx)"
+            yield _finding(
+                "missing-yield-from", kfn, call,
+                f"`{label}(...)` builds a device-op generator that is never "
+                "started — the operation is silently dropped",
+            )
+
+
+# -- rule 2: busy-wait-loop ---------------------------------------------------
+
+@register(
+    "busy-wait-loop", "error",
+    "an unbounded loop polls memory instead of using ctx.sync_wait",
+    "express the wait through `ctx.sync_wait` / `ctx.wait_for_value` so "
+    "the scheduling policy can lower it without busy-waiting",
+    "§IV.B-C",
+)
+def check_busy_wait_loop(kfn: KernelFunction) -> Iterator[Finding]:
+    for node in kfn.nodes:
+        if not isinstance(node, ast.While):
+            continue
+        polls: List[str] = []
+        blessed = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            kind = classify_call(sub, kfn.ctx_names)
+            if kind is None:
+                continue
+            if kind[0] == "ctx" and kind[1] in WAIT_OPS:
+                blessed = True
+            elif kind[0] == "sync" and kind[1] in SYNC_ENTRY_METHODS:
+                blessed = True
+            elif kind[0] == "ctx" and kind[1] in POLL_OPS:
+                polls.append(kind[1])
+        if polls and not blessed:
+            yield _finding(
+                "busy-wait-loop", kfn, node,
+                f"while-loop polls ctx.{polls[0]} with no sync_wait — a "
+                "busy-wait that deadlocks under oversubscription (the "
+                "waiting WG never releases its compute-unit slot)",
+            )
+
+
+# -- rule 3: vulnerable-wait --------------------------------------------------
+
+@register(
+    "vulnerable-wait", "warning",
+    "a failed atomic is followed by a separate exact-equality wait on the "
+    "same variable",
+    "fuse the update and the wait by passing `op=` to ctx.sync_wait (the "
+    "waiting-atomic path), or make the re-check monotonic with "
+    "`satisfied=lambda v: v >= target`",
+    "§IV.C",
+)
+def check_vulnerable_wait(kfn: KernelFunction) -> Iterator[Finding]:
+    rmw_lines: Dict[str, int] = {}
+    for call, kind, name in _device_calls(kfn):
+        if kind != "ctx":
+            continue
+        if name in RMW_OPS or name == "atomic":
+            addr = _addr_arg(call, name)
+            key = _dump(addr)
+            rmw_lines.setdefault(key, call.lineno)
+    if not rmw_lines:
+        return
+    for call, kind, name in _device_calls(kfn):
+        if kind != "ctx" or name not in ("wait_for_value", "sync_wait"):
+            continue
+        if _keyword(call, "satisfied") is not None:
+            continue  # monotonic re-check closes the window (Mesa semantics)
+        op_kw = _keyword(call, "op")
+        if op_kw is not None and "LOAD" not in _dump(op_kw):
+            continue  # fused waiting RMW — the §IV.D race-free path
+        addr = call.args[0] if call.args else _keyword(call, "addr")
+        key = _dump(addr)
+        rmw_line = rmw_lines.get(key)
+        if rmw_line is not None and rmw_line < call.lineno:
+            yield _finding(
+                "vulnerable-wait", kfn, call,
+                f"exact-equality wait on the variable updated by the atomic "
+                f"at line {rmw_line}: the releasing update can land between "
+                "the check and the wait arming (window of vulnerability)",
+            )
+
+
+# -- rule 4: divergent-syncthreads -------------------------------------------
+
+def _test_is_divergent(test: ast.AST) -> bool:
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr in DIVERGENT_NAMES:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in DIVERGENT_NAMES:
+            return True
+    return False
+
+
+@register(
+    "divergent-syncthreads", "error",
+    "ctx.syncthreads() under a wavefront-divergent condition",
+    "hoist the barrier out of the `is_master` / `wf_id` conditional — "
+    "every wavefront of the WG must arrive or none may",
+    "CUDA/HIP __syncthreads contract",
+)
+def check_divergent_syncthreads(kfn: KernelFunction) -> Iterator[Finding]:
+    for call, kind, name in _device_calls(kfn):
+        if kind != "ctx" or name != "syncthreads":
+            continue
+        for anc in kfn.parent_chain(call):
+            if isinstance(anc, (ast.If, ast.While, ast.IfExp)) and \
+                    _test_is_divergent(anc.test):
+                yield _finding(
+                    "divergent-syncthreads", kfn, call,
+                    "ctx.syncthreads() controlled by a wavefront-divergent "
+                    f"condition (line {anc.lineno}): non-participating "
+                    "wavefronts never arrive and the WG hangs",
+                )
+                break
+
+
+# -- rule 5: nonatomic-shared-rmw --------------------------------------------
+
+def _addr_is_private(addr: Optional[ast.AST], private_names: Set[str]) -> bool:
+    if addr is None:
+        return False
+    for sub in ast.walk(addr):
+        if isinstance(sub, ast.Attribute) and sub.attr in PRIVATE_NAMES:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in private_names:
+            return True
+    return False
+
+
+@register(
+    "nonatomic-shared-rmw", "warning",
+    "plain load/compute/store on shared memory outside any critical section",
+    "guard the read-modify-write with a mutex acquire/release, or use "
+    "`ctx.atomic_add` and friends for a single-word update",
+    "Table 2 workloads",
+)
+def check_nonatomic_shared_rmw(kfn: KernelFunction) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    #: names assigned from WG-identity expressions are WG-private indices
+    private_names: Set[str] = set()
+    for node in kfn.nodes:
+        if isinstance(node, ast.Assign) and _addr_is_private(node.value, private_names):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    private_names.add(tgt.id)
+
+    # Textual-order scan with a lock-depth counter: acquires open a
+    # critical section, releases close it (clamped at zero — an early
+    # return after a conditional release must not go negative).
+    depth = 0
+    pending_loads: Dict[str, int] = {}  # addr dump -> lock depth at load
+    calls = sorted(
+        (n for n in kfn.nodes if isinstance(n, ast.Call)),
+        key=lambda c: (c.lineno, c.col_offset),
+    )
+    for call in calls:
+        kind = classify_call(call, kfn.ctx_names)
+        if kind is None:
+            continue
+        group, name = kind
+        if (group == "sync" and name == "acquire") or \
+                (group == "ctx" and name == "acquire_test_and_set"):
+            depth += 1
+        elif group == "sync" and name == "release":
+            depth = max(0, depth - 1)
+        elif group == "ctx" and name == "load":
+            addr = _addr_arg(call, name)
+            if not _addr_is_private(addr, private_names):
+                pending_loads[_dump(addr)] = depth
+        elif group == "ctx" and name == "store":
+            addr = _addr_arg(call, name)
+            key = _dump(addr)
+            if key in pending_loads and pending_loads[key] == 0 \
+                    and depth == 0 \
+                    and not _addr_is_private(addr, private_names):
+                findings.append(_finding(
+                    "nonatomic-shared-rmw", kfn, call,
+                    "store completes a plain read-modify-write on a "
+                    "shared address with no enclosing acquire/"
+                    "release — concurrent WGs lose updates",
+                ))
+                del pending_loads[key]
+    return iter(findings)

@@ -1,0 +1,235 @@
+"""Dynamic synchronization sanitizer: happens-before race detection.
+
+Enabled with :attr:`~repro.gpu.config.GPUConfig.sanitize`. The memory
+hierarchy calls in for every plain load/store (attributed to the issuing
+WG) and for every atomic executed at the L2 (the serialization point);
+the sanitizer maintains:
+
+- a **vector clock** per WG, with release/acquire edges derived from the
+  atomics: every atomic *acquires* the address's release clock, and an
+  atomic that actually changed the word *releases* the WG's clock into
+  it. Correct lock hand-offs and flag publishes therefore order the
+  critical-section plain accesses; a WG that bypasses the protocol gets
+  no edge and its conflicting accesses are reported.
+- a **FastTrack-style shadow word** per plain-accessed address (last
+  write epoch + per-WG read epochs) to check conflicting accesses
+  against the clocks.
+- per-WG **locksets** (maintained by the sync primitives via
+  :meth:`on_lock_acquire` / :meth:`on_lock_release`) and the per-address
+  Eraser-style candidate intersection, reported alongside each race for
+  diagnosis — an empty intersection names the missing lock discipline.
+
+All callbacks run at deterministic engine points, so the race report is
+bit-reproducible for a fixed seed. Races are deduplicated per (address,
+kind, WG pair) and surfaced both as ``sanitizer.*`` stats and through
+:meth:`report` (machine-readable, JSON-serializable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu import GPU
+    from repro.mem.atomics import AtomicResult
+
+#: cap on stored race entries (the counter keeps counting past it)
+MAX_RACES = 200
+
+
+class _Shadow:
+    """FastTrack shadow state for one plain-accessed address."""
+
+    __slots__ = ("write", "write_lockset", "reads", "candidate")
+
+    def __init__(self) -> None:
+        #: last write epoch (wg, clock component) or None
+        self.write: Optional[Tuple[int, int]] = None
+        self.write_lockset: FrozenSet[int] = frozenset()
+        #: per-WG read epochs since the last write
+        self.reads: Dict[int, int] = {}
+        #: Eraser candidate lockset: intersection of locks held across
+        #: every access to this address (None until the first access)
+        self.candidate: Optional[FrozenSet[int]] = None
+
+
+class SyncSanitizer:
+    """Per-GPU dynamic race detector (see module docstring)."""
+
+    def __init__(self, gpu: "GPU") -> None:
+        self.gpu = gpu
+        #: per-WG vector clocks; each WG's own component starts at 1 so
+        #: the zero clock never appears to have observed a real epoch
+        self._clocks: Dict[int, Dict[int, int]] = {}
+        #: per-address release clocks (written by atomics that changed it)
+        self._sync: Dict[int, Dict[int, int]] = {}
+        self._shadow: Dict[int, _Shadow] = {}
+        self._held: Dict[int, Set[int]] = {}
+        self._races: List[Dict[str, Any]] = []
+        self._race_keys: Set[Tuple] = set()
+        self._lock_errors: List[Dict[str, Any]] = []
+        stats = gpu.stats
+        self._c_races = stats.counter("sanitizer.races")
+        self._c_plain = stats.counter("sanitizer.plain_accesses")
+        self._c_sync = stats.counter("sanitizer.sync_ops")
+        self._c_lock_errors = stats.counter("sanitizer.lock_errors")
+
+    # -- clocks ---------------------------------------------------------
+    def _clock(self, wg: int) -> Dict[int, int]:
+        clock = self._clocks.get(wg)
+        if clock is None:
+            clock = {wg: 1}
+            self._clocks[wg] = clock
+        return clock
+
+    @staticmethod
+    def _join(into: Dict[int, int], other: Dict[int, int]) -> None:
+        for wg, t in other.items():
+            if into.get(wg, 0) < t:
+                into[wg] = t
+
+    # -- synchronization edges (atomics at the L2) ----------------------
+    def on_atomic(self, wg: int, addr: int, result: "AtomicResult") -> None:
+        """Every atomic acquires; an atomic that changed the word releases."""
+        self._c_sync.incr()
+        clock = self._clock(wg)
+        rel = self._sync.get(addr)
+        if rel is not None:
+            self._join(clock, rel)
+        if result.wrote:
+            self._sync[addr] = dict(clock)
+            clock[wg] = clock.get(wg, 1) + 1
+
+    # -- plain accesses --------------------------------------------------
+    def on_load(self, wg: int, addr: int) -> None:
+        self._c_plain.incr()
+        clock = self._clock(wg)
+        shadow = self._shadow.get(addr)
+        if shadow is None:
+            shadow = self._shadow[addr] = _Shadow()
+        if shadow.write is not None:
+            w_wg, w_t = shadow.write
+            if w_wg != wg and clock.get(w_wg, 0) < w_t:
+                self._record_race(addr, "write-read", w_wg,
+                                  shadow.write_lockset, wg)
+        shadow.reads[wg] = clock.get(wg, 1)
+        self._update_candidate(shadow, wg)
+
+    def on_store(self, wg: int, addr: int) -> None:
+        self._c_plain.incr()
+        clock = self._clock(wg)
+        shadow = self._shadow.get(addr)
+        if shadow is None:
+            shadow = self._shadow[addr] = _Shadow()
+        if shadow.write is not None:
+            w_wg, w_t = shadow.write
+            if w_wg != wg and clock.get(w_wg, 0) < w_t:
+                self._record_race(addr, "write-write", w_wg,
+                                  shadow.write_lockset, wg)
+        for r_wg, r_t in shadow.reads.items():
+            if r_wg != wg and clock.get(r_wg, 0) < r_t:
+                self._record_race(addr, "read-write", r_wg, None, wg)
+        shadow.write = (wg, clock.get(wg, 1))
+        shadow.write_lockset = frozenset(self._held.get(wg, ()))
+        shadow.reads.clear()
+        self._update_candidate(shadow, wg)
+
+    def _update_candidate(self, shadow: _Shadow, wg: int) -> None:
+        held = frozenset(self._held.get(wg, ()))
+        if shadow.candidate is None:
+            shadow.candidate = held
+        else:
+            shadow.candidate &= held
+
+    # -- locksets (maintained by the sync primitives) --------------------
+    def on_lock_acquire(self, wg: int, lock_addr: int) -> None:
+        self._held.setdefault(wg, set()).add(lock_addr)
+
+    def on_lock_release(self, wg: int, lock_addr: int) -> None:
+        self._held.get(wg, set()).discard(lock_addr)
+
+    def record_lock_error(self, wg: int, lock_addr: int, kind: str,
+                          primitive: str) -> None:
+        """A structurally invalid lock operation (double release, release
+        without acquire) — recorded even though the primitive also raises."""
+        self._c_lock_errors.incr()
+        self._lock_errors.append({
+            "kind": kind,
+            "wg": wg,
+            "lock_addr": lock_addr,
+            "primitive": primitive,
+            "cycle": self.gpu.env.now,
+        })
+
+    # -- reporting -------------------------------------------------------
+    def _record_race(self, addr: int, kind: str, first_wg: int,
+                     first_lockset: Optional[FrozenSet[int]],
+                     second_wg: int) -> None:
+        self._c_races.incr()
+        key = (addr, kind, first_wg, second_wg)
+        if key in self._race_keys or len(self._races) >= MAX_RACES:
+            return
+        self._race_keys.add(key)
+        second_held = frozenset(self._held.get(second_wg, ()))
+        inter = (first_lockset & second_held
+                 if first_lockset is not None else frozenset())
+        shadow = self._shadow.get(addr)
+        candidate = shadow.candidate if shadow is not None else None
+        self._races.append({
+            "addr": addr,
+            "kind": kind,
+            "first_wg": first_wg,
+            "second_wg": second_wg,
+            "first_lockset": sorted(first_lockset or ()),
+            "second_lockset": sorted(second_held),
+            "lockset_intersection": sorted(inter),
+            "candidate_lockset": sorted(candidate or ()),
+            "cycle": self.gpu.env.now,
+            "hint": "no happens-before edge orders these accesses; hold a "
+                    "common lock around both, or publish through an atomic",
+        })
+
+    @property
+    def race_count(self) -> int:
+        return self._c_races.value
+
+    @property
+    def races(self) -> List[Dict[str, Any]]:
+        return list(self._races)
+
+    @property
+    def lock_errors(self) -> List[Dict[str, Any]]:
+        return list(self._lock_errors)
+
+    def report(self) -> Dict[str, Any]:
+        """Machine-readable run summary (JSON-serializable)."""
+        return {
+            "race_count": self._c_races.value,
+            "races": self.races,
+            "lock_errors": self.lock_errors,
+            "addresses_tracked": len(self._shadow),
+            "plain_accesses": self._c_plain.value,
+            "sync_ops": self._c_sync.value,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sanitizer: {self._c_plain.value} plain accesses over "
+            f"{len(self._shadow)} addresses, {self._c_sync.value} sync ops"
+        ]
+        if not self._races and not self._lock_errors:
+            lines.append("sanitizer: no races detected")
+        for race in self._races:
+            lines.append(
+                f"RACE [{race['kind']}] @0x{race['addr']:x}: "
+                f"WG{race['first_wg']} vs WG{race['second_wg']} "
+                f"(cycle {race['cycle']}, lockset ∩ = "
+                f"{race['lockset_intersection'] or '∅'})"
+            )
+        for err in self._lock_errors:
+            lines.append(
+                f"LOCK-ERROR [{err['kind']}] {err['primitive']}"
+                f"@0x{err['lock_addr']:x} by WG{err['wg']} "
+                f"(cycle {err['cycle']})"
+            )
+        return "\n".join(lines)

@@ -14,6 +14,10 @@ Usage::
     awg-repro faults --seed 7 --plans storm,chaos
     awg-repro cache                 # show result-cache location / size
     awg-repro cache --clear         # drop every cached result
+    awg-repro lint                  # static kernel linter (default paths)
+    awg-repro lint --json src/repro/workloads
+    awg-repro sanitize SPM_G awg    # dynamic race detection run
+    awg-repro sanitize _RACY        # the seeded-race drill (exits 1)
 """
 
 from __future__ import annotations
@@ -100,6 +104,37 @@ def _run_faults(opts, **matrix_kw) -> int:
     return 0
 
 
+def _run_sanitize(opts, parser) -> int:
+    """Run one benchmark with the dynamic sync sanitizer attached."""
+    import json
+
+    if not 1 <= len(opts.args) <= 2:
+        parser.error("sanitize needs BENCHMARK [POLICY]")
+    bench = opts.args[0]
+    policy_name = opts.args[1] if len(opts.args) == 2 else "awg"
+    scenario = QUICK_SCALE if opts.quick else PAPER_SCALE
+    res = run_benchmark(
+        bench, named_policy(policy_name), scenario,
+        validate=False, keep_gpu=True,
+        config_overrides={"sanitize": True, "seed": opts.seed},
+    )
+    sanitizer = res.gpu.sanitizer
+    report = sanitizer.report()
+    report["benchmark"] = bench
+    report["policy"] = res.policy
+    report["scenario"] = scenario.label
+    report["completed"] = res.completed
+    report["deadlocked"] = res.deadlocked
+    if opts.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        status = "completed" if res.ok else f"DEADLOCK ({res.reason})"
+        print(f"{bench} under {res.policy} [{scenario.label}]: {status}")
+        print(sanitizer.render())
+    clean = res.ok and not report["races"] and not report["lock_errors"]
+    return 0 if clean else 1
+
+
 def _run_timeline() -> None:
     from repro.core.policies import awg, monnr_all, monnr_one, timeout
     from repro.experiments.timeline import render_timeline, trace_run
@@ -140,9 +175,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "command",
         help="experiment id (table1, table2, fig5..fig15), 'list', "
-             "'all', or 'run'",
+             "'all', 'run', 'lint', or 'sanitize'",
     )
-    parser.add_argument("args", nargs="*", help="for 'run': BENCHMARK POLICY")
+    parser.add_argument("args", nargs="*",
+                        help="for 'run': BENCHMARK POLICY; for 'lint': "
+                             "paths; for 'sanitize': BENCHMARK [POLICY]")
     parser.add_argument("--quick", action="store_true",
                         help="small-scale smoke configuration")
     parser.add_argument("--smoke", action="store_true",
@@ -163,7 +200,16 @@ def main(argv=None) -> int:
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear", action="store_true",
                         help="for 'cache': delete every cached result")
-    opts = parser.parse_args(argv)
+    parser.add_argument("--json", action="store_true",
+                        help="for 'lint'/'sanitize': machine-readable output")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="for 'lint': known-findings file; only new "
+                             "findings fail the run")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="for 'lint': record current findings as the "
+                             "baseline and exit 0")
+    # intermixed: allows `lint --json PATH...` (flags before positionals)
+    opts = parser.parse_intermixed_args(argv)
     matrix_kw = {
         "jobs": opts.jobs,
         "cache": None if opts.no_cache else "default",
@@ -173,12 +219,25 @@ def main(argv=None) -> int:
         from repro.faults.plan import plan_names
 
         print("experiments:", ", ".join(EXPERIMENTS))
-        print("extras:      ablations, faults, timeline, cache")
+        print("extras:      ablations, faults, timeline, cache, "
+              "lint, sanitize")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
         print("fault plans:", ", ".join(plan_names()))
         return 0
+
+    if opts.command == "lint":
+        from repro.analysis.linter import run_lint
+
+        return run_lint(
+            opts.args, json_out=opts.json,
+            baseline_path=opts.baseline,
+            write_baseline_path=opts.write_baseline,
+        )
+
+    if opts.command == "sanitize":
+        return _run_sanitize(opts, parser)
 
     if opts.command == "faults":
         return _run_faults(opts, **matrix_kw)

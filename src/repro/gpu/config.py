@@ -102,6 +102,9 @@ class GPUConfig:
     #: deterministic fault-injection schedule (see :mod:`repro.faults`);
     #: None runs fault-free
     fault_plan: Optional[FaultPlan] = None
+    #: attach the dynamic sync sanitizer (:mod:`repro.analysis.sanitizer`)
+    #: to the memory hierarchy; adds shadow-state bookkeeping per access
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_cus < 1:

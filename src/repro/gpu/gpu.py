@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.monitor_log import MonitorLog
 from repro.core.policies import PolicySpec
 from repro.core.syncmon import SyncMon
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, DeviceError
 from repro.faults.injector import FaultInjector
 from repro.gpu.compute_unit import ComputeUnit
 from repro.gpu.config import GPUConfig
@@ -98,6 +98,15 @@ class GPU:
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan is not None and not config.fault_plan.is_noop:
             self.fault_injector = FaultInjector(self, config.fault_plan)
+        #: device ops created but never started (REPRO_DEBUG_OPS=1);
+        #: each entry is {"wg", "wf", "op"} — see device_api._TrackedOp
+        self.dropped_ops: List[Dict[str, Any]] = []
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.analysis.sanitizer import SyncSanitizer  # cycle
+
+            self.sanitizer = SyncSanitizer(self)
+            self.hierarchy.sanitizer = self.sanitizer
 
     # ------------------------------------------------------------------
     # memory helpers for workloads
@@ -231,6 +240,16 @@ class GPU:
             # Drain same-cycle completion events (e.g. per-kernel AllOf
             # callbacks scheduled by the final WG's completion).
             env.run(until=env.now)
+
+        if self.dropped_ops:
+            # REPRO_DEBUG_OPS=1: a dropped op with no later op to report
+            # it from (e.g. the kernel's last statement) surfaces here.
+            drop = self.dropped_ops[0]
+            raise DeviceError(
+                f"device op ctx.{drop['op']}() was called without 'yield from' "
+                f"by WG{drop['wg']} wf{drop['wf']} and never executed "
+                f"(REPRO_DEBUG_OPS=1; {len(self.dropped_ops)} dropped op(s))"
+            )
 
         diagnosis: Optional[Dict[str, Any]] = None
         if deadlocked:

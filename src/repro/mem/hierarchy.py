@@ -63,6 +63,9 @@ class MemoryHierarchy:
         ]
         self.dram = FifoResource(env, "dram", slots=config.dram_channels)
         self.atomic_observer: Optional[AtomicObserver] = None
+        #: optional dynamic race detector (repro.analysis.sanitizer);
+        #: installed by the GPU when config.sanitize is set
+        self.sanitizer = None
         #: extra cycles added to every L2/DRAM completion while a fault-
         #: injected memory-latency spike window is open (0 = no spike)
         self.fault_extra_latency = 0
@@ -77,9 +80,11 @@ class MemoryHierarchy:
         return self.l2_banks[idx]
 
     # -- plain loads/stores ------------------------------------------------
-    def load(self, cu_id: int, addr: int) -> Event:
+    def load(self, cu_id: int, addr: int, wg_id: Optional[int] = None) -> Event:
         """Read a word; fires with the value after the access latency."""
         self.load_count += 1
+        if self.sanitizer is not None and wg_id is not None:
+            self.sanitizer.on_load(wg_id, addr)
         cfg = self.config
         l1 = self.l1s[cu_id]
         if l1.access(addr):
@@ -89,9 +94,13 @@ class MemoryHierarchy:
             return result
         return self._l2_access(addr, extra_latency=cfg.l1_latency, write=False)
 
-    def store_word(self, cu_id: int, addr: int, value: int) -> Event:
+    def store_word(
+        self, cu_id: int, addr: int, value: int, wg_id: Optional[int] = None
+    ) -> Event:
         """Write-through store; fires when the write reaches the L2."""
         self.store_count += 1
+        if self.sanitizer is not None and wg_id is not None:
+            self.sanitizer.on_store(wg_id, addr)
         cfg = self.config
         self.l1s[cu_id].access(addr)  # write-allocate into L1 tags
         result = Event(self.env)
@@ -175,6 +184,8 @@ class MemoryHierarchy:
             hit = self.l2.access(addr)
             res = atomic_alu.execute(self.store, op, addr, operand, operand2)
             self._observe(res, wg_id)
+            if self.sanitizer is not None and wg_id is not None:
+                self.sanitizer.on_atomic(wg_id, addr, res)
             if l2_hook is not None:
                 l2_hook(res)
             latency = (cfg.l2_latency + (0 if hit else cfg.dram_latency)

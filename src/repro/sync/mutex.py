@@ -21,11 +21,53 @@ from typing import TYPE_CHECKING
 from repro.errors import DeviceError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Optional
+
     from repro.gpu.device_api import WavefrontCtx
     from repro.gpu.gpu import GPU
 
 
-class SpinMutex:
+class _LockDiscipline:
+    """Holder bookkeeping shared by the mutexes.
+
+    Structural misuse — releasing a lock that is not held (double
+    release) or held by a different WG — raises a structured
+    :class:`~repro.errors.DeviceError` naming the WG and lock address,
+    and is recorded by the sanitizer when one is attached. Legitimate
+    transitions feed the sanitizer's per-WG locksets.
+    """
+
+    gpu: "GPU"
+    home_addr: int
+    _holder: "Optional[int]"
+
+    def _note_acquire(self, wg_id: int) -> None:
+        self._holder = wg_id
+        san = self.gpu.sanitizer
+        if san is not None:
+            san.on_lock_acquire(wg_id, self.home_addr)
+
+    def _note_release(self, wg_id: int) -> None:
+        san = self.gpu.sanitizer
+        if self._holder == wg_id:
+            self._holder = None
+            if san is not None:
+                san.on_lock_release(wg_id, self.home_addr)
+            return
+        kind = ("release-without-acquire" if self._holder is None
+                else "release-by-non-holder")
+        primitive = type(self).__name__
+        if san is not None:
+            san.record_lock_error(wg_id, self.home_addr, kind, primitive)
+        held_by = (f" (held by WG{self._holder})"
+                   if self._holder is not None else "")
+        raise DeviceError(
+            f"{primitive}.release() {kind}: WG{wg_id} does not hold "
+            f"lock @0x{self.home_addr:x}{held_by}"
+        )
+
+
+class SpinMutex(_LockDiscipline):
     """Test-and-set lock (HeteroSync SpinMutex / SpinMutexBO).
 
     ``backoff=True`` gives the SPMBO variants: busy-waiting policies back
@@ -36,6 +78,7 @@ class SpinMutex:
         self.gpu = gpu
         self.backoff = backoff
         self.lock_addr = gpu.alloc_sync_vars(1)[0]
+        self._holder = None
 
     @property
     def home_addr(self) -> int:
@@ -48,10 +91,12 @@ class SpinMutex:
         yield from ctx.acquire_test_and_set(
             self.lock_addr, software_backoff=self.backoff
         )
+        self._note_acquire(ctx.wg_id)
         ctx.progress("mutex_acquire")
         return None
 
     def release(self, ctx: "WavefrontCtx", token=None):
+        self._note_release(ctx.wg_id)
         yield from ctx.atomic_exch(self.lock_addr, 0)
 
     def locked(self) -> bool:
@@ -59,7 +104,7 @@ class SpinMutex:
         return self.gpu.store.read(self.lock_addr) != 0
 
 
-class FAMutex:
+class FAMutex(_LockDiscipline):
     """Centralized fetch-and-add ticket lock (HeteroSync FAMutex).
 
     One ticket-dispenser word and one now-serving word; each waiter waits
@@ -70,6 +115,7 @@ class FAMutex:
         self.gpu = gpu
         addrs = gpu.alloc_sync_vars(2)
         self.ticket_addr, self.serving_addr = addrs
+        self._holder = None
 
     @property
     def home_addr(self) -> int:
@@ -80,14 +126,16 @@ class FAMutex:
         yield from ctx.wait_for_value(
             self.serving_addr, expected=my_ticket, exclusive=True
         )
+        self._note_acquire(ctx.wg_id)
         ctx.progress("mutex_acquire")
         return my_ticket
 
     def release(self, ctx: "WavefrontCtx", token=None):
+        self._note_release(ctx.wg_id)
         yield from ctx.atomic_add(self.serving_addr, 1)
 
 
-class SleepMutex:
+class SleepMutex(_LockDiscipline):
     """Decentralized ticket lock (HeteroSync SleepMutex; paper Figure 10).
 
     Each locker takes a queue slot by bumping the tail pointer, then
@@ -105,6 +153,7 @@ class SleepMutex:
             raise DeviceError("SleepMutex needs at least 2 queue slots")
         self.gpu = gpu
         self.queue_slots = queue_slots
+        self._holder = None
         self.tail_addr = gpu.alloc_sync_vars(1)[0]
         self.slot_addrs = gpu.alloc_sync_vars(queue_slots)
         # The first queue entry starts unlocked (Figure 10 commentary).
@@ -124,9 +173,11 @@ class SleepMutex:
         yield from ctx.wait_for_value(
             self._slot(ticket), expected=self.UNLOCKED, exclusive=True
         )
+        self._note_acquire(ctx.wg_id)
         ctx.progress("mutex_acquire")
         return ticket
 
     def release(self, ctx: "WavefrontCtx", token: int):
+        self._note_release(ctx.wg_id)
         yield from ctx.atomic_exch(self._slot(token), self.CONSUMED)
         yield from ctx.atomic_exch(self._slot(token + 1), self.UNLOCKED)

@@ -59,6 +59,44 @@ def make_mutex_body(
     return body
 
 
+def make_racy_mutex_body(
+    mutexes: Sequence,
+    data_addrs: Sequence[int],
+    iterations: int,
+    work_cycles: int,
+    cs_cycles: int,
+    bypass_every: int = 4,
+):
+    """Deliberately broken mutex body: the sanitizer's positive fixture.
+
+    Every ``bypass_every``-th WG skips the lock and performs the same
+    read-modify-write on the shared word directly. The bypassing WG
+    executes no atomics on the lock variable, so no happens-before edge
+    orders its plain accesses against the critical sections — exactly the
+    unsynchronized conflict the sanitizer exists to catch. Never part of
+    BENCHMARKS; resolve it explicitly as ``_RACY``."""
+
+    def body(ctx: "WavefrontCtx"):
+        mutex = mutexes[0]
+        data = data_addrs[0]
+        for _ in range(iterations):
+            yield from ctx.compute(work_cycles)
+            if ctx.grid_index % bypass_every == bypass_every - 1:
+                value = yield from ctx.load(data)
+                yield from ctx.compute(cs_cycles)
+                # The unprotected RMW is the point of this drill.
+                yield from ctx.store(data, value + 1)  # repro: noqa[nonatomic-shared-rmw]
+            else:
+                token = yield from mutex.acquire(ctx)
+                value = yield from ctx.load(data)
+                yield from ctx.compute(cs_cycles)
+                yield from ctx.store(data, value + 1)
+                yield from mutex.release(ctx, token)
+            ctx.progress("cs_complete")
+
+    return body
+
+
 def make_worker_body(iterations: int, work_cycles: int):
     """Non-master wavefronts: per-iteration local work + __syncthreads
     (they never touch global synchronization variables)."""

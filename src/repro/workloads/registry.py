@@ -23,6 +23,7 @@ from repro.sync.mutex import FAMutex, SleepMutex, SpinMutex
 from repro.workloads.heterosync import (
     make_barrier_body,
     make_mutex_body,
+    make_racy_mutex_body,
     make_worker_body,
     validate_barrier_run,
     validate_mutex_run,
@@ -372,6 +373,44 @@ _register_stress(BenchmarkSpec(
     description="wall-clock hang; drills REPRO_CELL_TIMEOUT",
     category="stress", scope="G",
     builder=_stress_builder("hang"),
+    resources=_profile(7, 64, 0),
+    table2=Table2Row("-", "-", "-", "-", "-"),
+))
+def _racy_builder(spec: BenchmarkSpec, gpu: "GPU", params: BenchmarkParams) -> Kernel:
+    mutexes = [SpinMutex(gpu)]
+    data_addrs = [mutexes[0].home_addr + 8]
+    body = make_racy_mutex_body(
+        mutexes, data_addrs,
+        params.iterations, params.work_cycles, params.cs_cycles,
+    )
+
+    def validate(g: "GPU") -> None:
+        # Updates may be lost (that is the point); only sanity-check that
+        # the counter moved and never exceeded the race-free total.
+        value = g.store.read(data_addrs[0])
+        if not 1 <= value <= params.total_wgs * params.iterations:
+            raise AssertionError(f"_RACY counter out of range: {value}")
+
+    return Kernel(
+        name=spec.abbrev,
+        body=body,
+        grid_wgs=params.total_wgs,
+        wavefronts_per_wg=1,
+        resources=spec.resources,
+        args={
+            "mutexes": mutexes,
+            "data_addrs": data_addrs,
+            "validate": validate,
+            "params": params,
+        },
+    )
+
+
+_register_stress(BenchmarkSpec(
+    abbrev="_RACY", full_name="StressRacyMutex",
+    description="every 4th WG bypasses the lock; sanitizer positive fixture",
+    category="stress", scope="G",
+    builder=_racy_builder,
     resources=_profile(7, 64, 0),
     table2=Table2Row("-", "-", "-", "-", "-"),
 ))

@@ -1,0 +1,14 @@
+"""Negative fixture: bounded polling and blessed waits in loops."""
+
+
+def kernel(ctx, flag_addr, items):
+    # Bounded for-loop reads are not a busy-wait.
+    for _ in range(4):
+        value = yield from ctx.atomic_load(flag_addr)
+        yield from ctx.compute(value + 1)
+    done = False
+    while not done:
+        # The blessed waiting entry point inside the loop: the policy
+        # lowers it, so the loop itself is not a spin.
+        res = yield from ctx.sync_wait(flag_addr, expected=1)
+        done = res.success

@@ -1,0 +1,11 @@
+"""Negative fixture: uniform barriers and divergent non-barrier work."""
+
+
+def kernel(ctx, multi_wavefront):
+    # Uniform condition: every wavefront evaluates it the same way.
+    if multi_wavefront:
+        yield from ctx.syncthreads()
+    # Divergent compute is fine — only barriers must be uniform.
+    if ctx.is_master:
+        yield from ctx.compute(100)
+    yield from ctx.syncthreads()

@@ -1,0 +1,14 @@
+"""Negative fixture: every device op properly delegated."""
+
+
+def kernel(ctx, addr, mutex):
+    ctx.progress("tick")  # plain call: needs no yield from
+    token = yield from mutex.acquire(ctx)
+    value = yield from ctx.load(addr)
+    yield from ctx.store(addr, value + 1)
+    yield from mutex.release(ctx, token)
+
+
+def helper(ctx, addr):
+    # `return ctx.op(...)` hands the generator to the caller's yield from.
+    return ctx.load(addr)

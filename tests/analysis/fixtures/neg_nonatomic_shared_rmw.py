@@ -1,0 +1,13 @@
+"""Negative fixture: locked critical section and WG-private addresses."""
+
+
+def kernel(ctx, mutex, data_addr, slots):
+    # The mutex orders this read-modify-write.
+    token = yield from mutex.acquire(ctx)
+    value = yield from ctx.load(data_addr)
+    yield from ctx.store(data_addr, value + 1)
+    yield from mutex.release(ctx, token)
+    # WG-private slot: indexed by this WG's own identity, no sharing.
+    mine = slots[ctx.grid_index]
+    count = yield from ctx.load(mine)
+    yield from ctx.store(mine, count + 1)

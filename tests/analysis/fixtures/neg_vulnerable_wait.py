@@ -1,0 +1,14 @@
+"""Negative fixture: fused waiting atomics and monotonic re-checks."""
+
+
+def kernel(ctx, lock_addr, counter_addr, target):
+    # Fused test-and-set: update and wait are one waiting atomic (SIV.D).
+    yield from ctx.acquire_test_and_set(lock_addr)
+    arrived = yield from ctx.atomic_add(counter_addr, 1)
+    # Monotonic satisfied= predicate: Mesa re-check closes the window.
+    yield from ctx.wait_for_value(
+        counter_addr,
+        expected=target,
+        satisfied=lambda v: v >= target,
+    )
+    return arrived

@@ -1,0 +1,9 @@
+"""Positive fixture: hand-rolled spin loop instead of sync_wait."""
+
+
+def kernel(ctx, lock_addr):
+    while True:
+        old = yield from ctx.atomic_exch(lock_addr, 1)
+        if old == 0:
+            break
+    yield from ctx.compute(100)

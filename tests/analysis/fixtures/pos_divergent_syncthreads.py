@@ -1,0 +1,11 @@
+"""Positive fixture: __syncthreads under wavefront-divergent control."""
+
+
+def kernel(ctx):
+    if ctx.is_master:
+        yield from ctx.syncthreads()
+
+
+def kernel_loop(ctx):
+    while ctx.wf_id == 0:
+        yield from ctx.syncthreads()

@@ -1,0 +1,8 @@
+"""Positive fixture: device ops built but never driven."""
+
+
+def kernel(ctx, counter_addr, mutex):
+    ctx.atomic_add(counter_addr, 1)  # dropped: no yield from
+    token = mutex.acquire(ctx)  # dropped: sync method not delegated
+    yield from ctx.compute(10)
+    return token

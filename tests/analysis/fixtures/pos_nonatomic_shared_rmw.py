@@ -1,0 +1,7 @@
+"""Positive fixture: plain read-modify-write on shared memory, no lock."""
+
+
+def kernel(ctx, data_addr):
+    value = yield from ctx.load(data_addr)
+    yield from ctx.compute(50)
+    yield from ctx.store(data_addr, value + 1)

@@ -1,0 +1,8 @@
+"""Positive fixture: check-then-wait re-opens the window (paper SIV.C)."""
+
+
+def kernel(ctx, lock_addr):
+    old = yield from ctx.atomic_exch(lock_addr, 1)
+    if old != 0:
+        yield from ctx.wait_for_value(lock_addr, expected=0)
+    yield from ctx.compute(50)

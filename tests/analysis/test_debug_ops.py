@@ -1,0 +1,98 @@
+"""REPRO_DEBUG_OPS=1: dropped device-op generators become DeviceErrors."""
+
+import pytest
+
+from repro.core.policies import awg
+from repro.errors import DeviceError
+from repro.experiments.runner import QUICK_SCALE, run_benchmark
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import Kernel, ResourceProfile
+
+RES = ResourceProfile(4, 16, 0)
+
+
+def _gpu():
+    return GPU(GPUConfig(num_cus=2, max_wgs_per_cu=2,
+                         deadlock_window=100_000, max_cycles=5_000_000),
+               awg())
+
+
+def _launch(gpu, body, grid_wgs=1):
+    gpu.launch(Kernel(name="t", body=body, grid_wgs=grid_wgs,
+                      resources=RES, args={}))
+
+
+def test_dropped_op_mid_kernel_raises_named_device_error(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_OPS", "1")
+    gpu = _gpu()
+    addr = gpu.malloc(64)
+
+    def body(ctx):
+        yield from ctx.compute(100)
+        ctx.store(addr, 1)  # missing yield from
+        yield from ctx.compute(100)
+
+    _launch(gpu, body)
+    with pytest.raises(DeviceError, match=r"ctx\.store\(\).*yield from.*WG0"):
+        gpu.run()
+    assert gpu.dropped_ops
+
+
+def test_dropped_op_as_last_statement_raises_at_run_end(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_OPS", "1")
+    gpu = _gpu()
+    addr = gpu.malloc(64)
+
+    def body(ctx):
+        yield from ctx.compute(100)
+        ctx.atomic_add(addr, 1)  # dropped, and no later op to catch it
+
+    _launch(gpu, body)
+    with pytest.raises(DeviceError, match=r"ctx\.atomic_add\(\)"):
+        gpu.run()
+
+
+def test_without_flag_drop_is_silent(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG_OPS", raising=False)
+    gpu = _gpu()
+    addr = gpu.malloc(64)
+
+    def body(ctx):
+        yield from ctx.compute(100)
+        ctx.store(addr, 1)  # silently dropped: the bug the flag exists for
+
+    _launch(gpu, body)
+    outcome = gpu.run()
+    assert outcome.ok
+    assert gpu.dropped_ops == []
+    assert gpu.store.read(addr) == 0  # the store never happened
+
+
+def test_correct_kernels_are_unaffected_by_the_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_OPS", "1")
+    res = run_benchmark(
+        "SPM_G", awg(),
+        QUICK_SCALE.scaled(label="tiny", total_wgs=8, wgs_per_group=4,
+                           max_wgs_per_cu=4, iterations=1),
+    )
+    assert res.ok
+
+
+def test_return_delegation_is_not_a_drop(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_OPS", "1")
+    gpu = _gpu()
+    addr = gpu.malloc(64)
+    gpu.store.write(addr, 7)
+
+    def read_it(ctx):
+        return ctx.load(addr)  # generator handed to the caller
+
+    seen = {}
+
+    def body(ctx):
+        seen["value"] = yield from read_it(ctx)
+
+    _launch(gpu, body)
+    assert gpu.run().ok
+    assert seen["value"] == 7

@@ -1,0 +1,216 @@
+"""Static kernel linter: per-rule fixtures, suppression, baseline, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.linter import (
+    DEFAULT_PATHS,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import RULES
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+ALL_RULES = (
+    "missing-yield-from",
+    "busy-wait-loop",
+    "vulnerable-wait",
+    "divergent-syncthreads",
+    "nonatomic-shared-rmw",
+)
+
+
+def _lint_fixture(name):
+    path = FIXTURES / f"{name}.py"
+    active, suppressed = lint_source(path.read_text(), str(path))
+    return active, suppressed
+
+
+# -- registry sanity ---------------------------------------------------------
+
+def test_registry_contains_exactly_the_documented_rules():
+    assert sorted(RULES) == sorted(ALL_RULES)
+
+
+def test_every_rule_is_fully_described():
+    for rule in RULES.values():
+        assert rule.severity in SEVERITIES
+        assert rule.summary
+        assert rule.hint
+        assert rule.paper_ref
+
+
+# -- per-rule positive + negative fixtures -----------------------------------
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_rule_fires_on_positive_fixture(rule_id):
+    active, _ = _lint_fixture("pos_" + rule_id.replace("-", "_"))
+    fired = [f for f in active if f.rule_id == rule_id]
+    assert fired, f"{rule_id} silent on its positive fixture"
+    for f in fired:
+        assert f.severity == RULES[rule_id].severity
+        assert f.line > 0 and f.col > 0
+        assert f.hint
+        assert f.function
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_negative_fixture_is_fully_clean(rule_id):
+    # Not just silent for its own rule: the negatives are idiomatic
+    # kernels, so NO rule may fire on them (false-positive guard).
+    active, suppressed = _lint_fixture("neg_" + rule_id.replace("-", "_"))
+    assert active == [], [f.render() for f in active]
+    assert suppressed == []
+
+
+def test_missing_yield_from_flags_both_call_forms():
+    active, _ = _lint_fixture("pos_missing_yield_from")
+    messages = [f.message for f in active if f.rule_id == "missing-yield-from"]
+    assert any("ctx.atomic_add" in m for m in messages)
+    assert any("acquire(ctx)" in m for m in messages)
+
+
+def test_divergent_syncthreads_flags_if_and_while():
+    active, _ = _lint_fixture("pos_divergent_syncthreads")
+    fired = [f for f in active if f.rule_id == "divergent-syncthreads"]
+    assert {f.function for f in fired} == {"kernel", "kernel_loop"}
+
+
+# -- suppression -------------------------------------------------------------
+
+def _offending_source_and_line(rule_id):
+    path = FIXTURES / f"pos_{rule_id.replace('-', '_')}.py"
+    source = path.read_text()
+    active, _ = lint_source(source, str(path))
+    finding = next(f for f in active if f.rule_id == rule_id)
+    return source, finding.line
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_noqa_with_rule_id_suppresses(rule_id):
+    source, line = _offending_source_and_line(rule_id)
+    lines = source.splitlines()
+    lines[line - 1] += f"  # repro: noqa[{rule_id}]"
+    active, suppressed = lint_source("\n".join(lines), "fixture.py")
+    assert not any(f.rule_id == rule_id and f.line == line for f in active)
+    assert any(f.rule_id == rule_id and f.line == line for f in suppressed)
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line():
+    source, line = _offending_source_and_line("busy-wait-loop")
+    lines = source.splitlines()
+    lines[line - 1] += "  # repro: noqa"
+    active, suppressed = lint_source("\n".join(lines), "fixture.py")
+    assert not any(f.line == line for f in active)
+    assert any(f.line == line for f in suppressed)
+
+
+def test_noqa_for_a_different_rule_does_not_suppress():
+    source, line = _offending_source_and_line("busy-wait-loop")
+    lines = source.splitlines()
+    lines[line - 1] += "  # repro: noqa[missing-yield-from]"
+    active, _ = lint_source("\n".join(lines), "fixture.py")
+    assert any(f.rule_id == "busy-wait-loop" and f.line == line
+               for f in active)
+
+
+# -- syntax errors -----------------------------------------------------------
+
+def test_unparsable_file_yields_syntax_error_finding():
+    active, _ = lint_source("def kernel(ctx:\n    pass\n", "broken.py")
+    assert len(active) == 1
+    assert active[0].rule_id == "syntax-error"
+    assert active[0].severity == "error"
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_baseline_partitions_known_findings(tmp_path):
+    fixture = FIXTURES / "pos_busy_wait_loop.py"
+    report = lint_paths([str(fixture)])
+    assert not report.ok
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), report.findings)
+    assert load_baseline(str(baseline_file))
+    again = lint_paths([str(fixture)], baseline_path=str(baseline_file))
+    assert again.ok  # every finding is known
+    assert len(again.baselined) == len(report.findings)
+    assert again.findings == []
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(str(baseline_file), [Finding(
+        rule_id="busy-wait-loop", severity="error", path="elsewhere.py",
+        line=1, col=1, message="", hint="")])
+    report = lint_paths([str(FIXTURES / "pos_busy_wait_loop.py")],
+                        baseline_path=str(baseline_file))
+    assert not report.ok
+
+
+def test_missing_baseline_file_is_empty():
+    assert load_baseline(None) == []
+    assert load_baseline("/nonexistent/baseline.json") == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_lint_json_reports_findings(capsys):
+    rc = main(["lint", "--json", str(FIXTURES / "pos_busy_wait_loop.py")])
+    assert rc == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is False
+    assert data["files_scanned"] == 1
+    assert {f["rule_id"] for f in data["findings"]} == {"busy-wait-loop"}
+    assert sorted(data["rules"]) == sorted(ALL_RULES)
+
+
+def test_cli_lint_clean_file_exits_zero(capsys):
+    rc = main(["lint", "--json",
+               str(FIXTURES / "neg_busy_wait_loop.py")])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_cli_lint_write_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    rc = main(["lint", "--write-baseline", str(baseline),
+               str(FIXTURES / "pos_busy_wait_loop.py")])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["lint", "--baseline", str(baseline),
+               str(FIXTURES / "pos_busy_wait_loop.py")])
+    assert rc == 0  # all findings baselined -> clean
+
+
+# -- dogfood: the shipped tree must lint clean --------------------------------
+
+def test_shipped_tree_lints_clean():
+    paths = [str(REPO_ROOT / p) for p in DEFAULT_PATHS]
+    report = lint_paths(paths)
+    assert report.files_scanned >= 10
+    assert report.findings == [], [f.render() for f in report.findings]
+
+
+def test_shipped_baseline_is_empty():
+    # The committed baseline must stay empty: new findings are fixed or
+    # noqa'd with justification, never baselined silently.
+    data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert data["findings"] == []
+
+
+# -- docs meta-test ----------------------------------------------------------
+
+@pytest.mark.parametrize("doc", ["README.md", "EXPERIMENTS.md"])
+def test_every_rule_id_is_documented(doc):
+    text = (REPO_ROOT / doc).read_text()
+    for rule_id in RULES:
+        assert rule_id in text, f"{rule_id} missing from {doc}"

@@ -143,3 +143,75 @@ def test_home_addr_is_contended_line():
     assert fam.home_addr == fam.serving_addr
     slm = SleepMutex(gpu, queue_slots=4)
     assert slm.home_addr == slm.tail_addr
+
+
+# -- lock discipline: structural misuse raises a structured DeviceError -------
+
+MUTEX_FACTORIES = [
+    pytest.param(lambda g: SpinMutex(g), id="SpinMutex"),
+    pytest.param(lambda g: FAMutex(g), id="FAMutex"),
+    pytest.param(lambda g: SleepMutex(g, queue_slots=4), id="SleepMutex"),
+]
+
+
+def _run_misuse(mutex_factory, body_of):
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    mutex = mutex_factory(gpu)
+    gpu.launch(simple_kernel(body_of(mutex), grid_wgs=1))
+    with pytest.raises(DeviceError) as exc:
+        gpu.run()
+    return mutex, exc.value
+
+
+@pytest.mark.parametrize("mutex_factory", MUTEX_FACTORIES)
+def test_release_without_acquire_raises(mutex_factory):
+    def body_of(mutex):
+        def body(ctx):
+            yield from ctx.compute(10)
+            yield from mutex.release(ctx, 0)
+
+        return body
+
+    mutex, err = _run_misuse(mutex_factory, body_of)
+    msg = str(err)
+    assert "release-without-acquire" in msg
+    assert "WG0" in msg
+    assert f"0x{mutex.home_addr:x}" in msg
+
+
+@pytest.mark.parametrize("mutex_factory", MUTEX_FACTORIES)
+def test_double_release_raises(mutex_factory):
+    def body_of(mutex):
+        def body(ctx):
+            token = yield from mutex.acquire(ctx)
+            yield from mutex.release(ctx, token)
+            yield from mutex.release(ctx, token)
+
+        return body
+
+    _, err = _run_misuse(mutex_factory, body_of)
+    assert "release-without-acquire" in str(err)
+
+
+def test_release_by_non_holder_raises():
+    gpu = make_gpu(awg(), num_cus=2, max_wgs_per_cu=2)
+    mutex = SpinMutex(gpu)
+
+    def body(ctx):
+        if ctx.grid_index == 0:
+            yield from mutex.acquire(ctx)
+            yield from ctx.compute(5_000)
+            yield from mutex.release(ctx)
+        else:
+            yield from ctx.compute(500)
+            # WG1 releases a lock WG0 holds
+            yield from mutex.release(ctx)
+
+    gpu.launch(simple_kernel(body, grid_wgs=2))
+    with pytest.raises(DeviceError, match="release-by-non-holder"):
+        gpu.run()
+
+
+def test_correct_use_never_trips_the_discipline_check():
+    gpu, mutex = exercise_mutex(awg(), lambda g, n: SpinMutex(g))
+    assert mutex._holder is None
