@@ -5,6 +5,7 @@
 #   make bench         full figure-suite regeneration (pytest-benchmark)
 #   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
 #   make faults-smoke  fault-injection campaign, smoke scale (IFP table)
+#   make trace-smoke   export one trace and validate the Perfetto schema
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
@@ -14,7 +15,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke faults-smoke clean-cache
+.PHONY: test lint bench bench-smoke faults-smoke trace-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -31,6 +32,11 @@ bench-smoke:
 
 faults-smoke:
 	$(PY) -m repro faults --seed 1 --smoke --no-cache
+
+trace-smoke:
+	$(PY) -m repro trace FAM_G awg --quick --out .trace-smoke.json
+	$(PY) -m repro.trace.export .trace-smoke.json
+	rm -f .trace-smoke.json
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

@@ -18,6 +18,8 @@ Usage::
     awg-repro lint --json src/repro/workloads
     awg-repro sanitize SPM_G awg    # dynamic race detection run
     awg-repro sanitize _RACY        # the seeded-race drill (exits 1)
+    awg-repro trace FAM_G awg --out t.json   # Chrome/Perfetto trace
+    awg-repro trace SPM_G --quick --categories wg,sync,dispatch
 """
 
 from __future__ import annotations
@@ -135,6 +137,50 @@ def _run_sanitize(opts, parser) -> int:
     return 0 if clean else 1
 
 
+def _run_trace(opts, parser) -> int:
+    """Run one benchmark with structured tracing on and export the
+    Chrome/Perfetto trace_event JSON (see README "Tracing")."""
+    from repro.trace.config import TraceConfig
+    from repro.trace.export import validate_chrome_trace, write_chrome_trace
+
+    if not 1 <= len(opts.args) <= 2:
+        parser.error("trace needs BENCHMARK [POLICY]")
+    bench = opts.args[0]
+    policy_name = opts.args[1] if len(opts.args) == 2 else "awg"
+    scenario = OVERSUBSCRIBED if opts.oversubscribed else PAPER_SCALE
+    if opts.quick:
+        scenario = QUICK_SCALE
+    trace_cfg = TraceConfig.parse(opts.categories or "all")
+    res = run_benchmark(
+        bench, named_policy(policy_name), scenario,
+        validate=False,
+        config_overrides={"trace": trace_cfg, "seed": opts.seed},
+    )
+    out = opts.out or "trace.json"
+    write_chrome_trace(res.trace, out)
+    problems = validate_chrome_trace(res.trace)
+    status = "completed" if res.ok else f"DEADLOCK ({res.reason})"
+    print(f"{bench} under {res.policy} [{scenario.label}]: {status} "
+          f"in {res.cycles:,} cycles")
+    sidecar = res.trace["awg"]
+    print(f"  categories: {','.join(sidecar['categories'])}")
+    print(f"  events:     {sidecar['recorded']:,} recorded, "
+          f"{sidecar['dropped']:,} dropped (ring bound "
+          f"{trace_cfg.buffer_size:,})")
+    for key in sorted(res.stats):
+        if key.startswith("trace.") and not key.startswith("trace.count."):
+            print(f"  {key}: {res.stats[key]:,.0f}")
+    print(f"  wrote {out} — open at https://ui.perfetto.dev "
+          f"or chrome://tracing")
+    if problems:
+        print(f"INVALID trace ({len(problems)} schema problem(s)):",
+              file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_timeline() -> None:
     from repro.core.policies import awg, monnr_all, monnr_one, timeout
     from repro.experiments.timeline import render_timeline, trace_run
@@ -179,7 +225,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("args", nargs="*",
                         help="for 'run': BENCHMARK POLICY; for 'lint': "
-                             "paths; for 'sanitize': BENCHMARK [POLICY]")
+                             "paths; for 'sanitize'/'trace': "
+                             "BENCHMARK [POLICY]")
     parser.add_argument("--quick", action="store_true",
                         help="small-scale smoke configuration")
     parser.add_argument("--smoke", action="store_true",
@@ -208,6 +255,12 @@ def main(argv=None) -> int:
     parser.add_argument("--write-baseline", default=None, metavar="FILE",
                         help="for 'lint': record current findings as the "
                              "baseline and exit 0")
+    parser.add_argument("--categories", default=None, metavar="A,B,...",
+                        help="for 'trace': comma-separated event "
+                             "categories (default: all; see repro.trace)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="for 'trace': output path for the Chrome "
+                             "trace_event JSON (default: trace.json)")
     # intermixed: allows `lint --json PATH...` (flags before positionals)
     opts = parser.parse_intermixed_args(argv)
     matrix_kw = {
@@ -220,7 +273,7 @@ def main(argv=None) -> int:
 
         print("experiments:", ", ".join(EXPERIMENTS))
         print("extras:      ablations, faults, timeline, cache, "
-              "lint, sanitize")
+              "lint, sanitize, trace")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
@@ -238,6 +291,9 @@ def main(argv=None) -> int:
 
     if opts.command == "sanitize":
         return _run_sanitize(opts, parser)
+
+    if opts.command == "trace":
+        return _run_trace(opts, parser)
 
     if opts.command == "faults":
         return _run_faults(opts, **matrix_kw)

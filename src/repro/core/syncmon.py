@@ -92,6 +92,8 @@ class SyncMon:
         self.stall_predictor = StallTimePredictor()
         self.resume_hook: Optional[ResumeHook] = None
         self.notify_fault: Optional[NotifyFault] = None
+        #: structured event tracer (set by the GPU; None = tracing off)
+        self.tracer = None
         # statistics (Fig 9 / Fig 13 / Table 2 inputs)
         self.registrations = 0
         self.spills = 0
@@ -152,6 +154,17 @@ class SyncMon:
         Called at the L2 when a waiting atomic fails its comparison, or
         when a wait instruction arrives (MonR/MonRS policies).
         """
+        outcome = self._register(wg_id, cond)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("sync", f"register:{outcome.value}",
+                           track="syncmon", wg=wg_id, addr=cond.addr,
+                           expected=cond.expected)
+            tracer.counter("sync", "syncmon.conditions", self.condition_count)
+            tracer.counter("sync", "syncmon.waiters", self._waiting_list_used)
+        return outcome
+
+    def _register(self, wg_id: int, cond: WaitCondition) -> RegisterOutcome:
         self.registrations += 1
         entry = self._find(cond)
         if entry is not None:
@@ -188,6 +201,8 @@ class SyncMon:
             self.log_full_events += 1
             return RegisterOutcome.LOG_FULL
         self.spills += 1
+        if self.tracer is not None:
+            self.tracer.counter("cp", "log.occupancy", self.log.occupancy)
         # The spill is a memory write: charge DRAM occupancy (fire and forget).
         self.hierarchy.dram.service(self.config.dram_service)
         return RegisterOutcome.SPILLED
@@ -201,6 +216,9 @@ class SyncMon:
         self._waiting_list_used -= 1
         if not entry.waiters:
             self._drop_entry(entry)
+        if self.tracer is not None:
+            self.tracer.instant("sync", "withdraw", track="syncmon",
+                                wg=wg_id, addr=cond.addr)
         return True
 
     def _drop_entry(self, entry: _ConditionEntry) -> None:
@@ -277,6 +295,13 @@ class SyncMon:
             resume_mode = (
                 ResumeMode.ALL if decision is ResumeDecision.ALL else ResumeMode.ONE
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "predict",
+                    f"resume:{'all' if resume_mode is ResumeMode.ALL else 'one'}",
+                    track="syncmon", addr=entry.cond.addr,
+                    waiters=num_waiters,
+                )
         elif resume_mode is ResumeMode.ORACLE:
             # MinResume: never resume unnecessarily. A consumed (mutex)
             # condition releases exactly one waiter per met update; a
@@ -345,6 +370,9 @@ class SyncMon:
             if not wg_ids:
                 return
         self.resumed_wgs += len(wg_ids)
+        if self.tracer is not None:
+            self.tracer.instant("sync", f"resume:{cause}", track="syncmon",
+                                wgs=list(wg_ids))
         if self.resume_hook is not None:
             self.resume_hook(wg_ids, cause, stagger)
 

@@ -49,6 +49,7 @@ RESULT_FIELDS = (
     "wg_waiting_cycles",
     "stats",
     "diagnosis",
+    "trace",
 )
 
 _FINGERPRINT: Optional[str] = None

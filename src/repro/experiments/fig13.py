@@ -56,6 +56,15 @@ def run(
     return result
 
 
+def from_trace(trace) -> dict:
+    """The Figure 13 structure sizes derived from one exported trace
+    (requires the ``sync`` and ``cp`` categories) instead of the
+    ``cp.ds.*`` stats — same numbers, trace stream as source of truth."""
+    from repro.trace.derive import cp_structure_bytes
+
+    return cp_structure_bytes(trace)
+
+
 def main() -> None:  # pragma: no cover
     print(run().render(digits=2))
 

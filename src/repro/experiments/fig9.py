@@ -54,6 +54,17 @@ def run(
     return result
 
 
+def from_traces(traces) -> dict:
+    """Figure 9's metric derived from exported traces instead of stats:
+    ``traces`` maps policy name -> Chrome-trace document for one
+    (benchmark, scenario). Requires the ``mem`` trace category; returns
+    per-policy atomic counts normalized to MinResume. The property suite
+    asserts this agrees with the stats-based :func:`run` pipeline."""
+    from repro.trace.derive import wait_efficiency
+
+    return wait_efficiency(traces, oracle="MinResume")
+
+
 def main() -> None:  # pragma: no cover
     print(run().render())
 

@@ -108,6 +108,10 @@ class RunResult:
     stats: Dict[str, float] = field(default_factory=dict)
     #: structured watchdog diagnosis for deadlocked/livelocked runs
     diagnosis: Optional[Dict[str, Any]] = None
+    #: exported Chrome trace_event document when ``GPUConfig.trace`` was
+    #: set (plain JSON-serializable dict; survives the result cache like
+    #: ``diagnosis`` does); None with tracing off
+    trace: Optional[Dict[str, Any]] = None
     gpu: Optional[GPU] = None
 
     @property
@@ -148,6 +152,12 @@ def run_benchmark(
     stats["cp.arena.peak_bytes"] = float(gpu.cp.arena.peak_bytes)
     for key, value in gpu.syncmon.characterization().items():
         stats[f"char.{key}"] = float(value)
+    trace = None
+    if gpu.tracer is not None:
+        trace = gpu.tracer.export_chrome(
+            label=f"{name}/{policy.name}/{scenario.label}"
+        )
+        stats.update(gpu.tracer.metrics())
     return RunResult(
         benchmark=name,
         policy=policy.name,
@@ -163,5 +173,6 @@ def run_benchmark(
         wg_waiting_cycles=outcome.wg_waiting_cycles,
         stats=stats,
         diagnosis=outcome.diagnosis,
+        trace=trace,
         gpu=gpu if keep_gpu else None,
     )

@@ -5,18 +5,27 @@ between a failed synchronization attempt and its resumption. We render
 the real thing: per-WG state timelines from an actual simulation, as
 compact ASCII strips (one character per time bucket).
 
+The strips are built from the structured trace stream
+(:mod:`repro.trace`): ``trace_run`` turns on the ``wg`` category, the
+tracer records one span per state a WG occupies, and the renderers below
+consume either the live ``GPU.state_trace`` view or an exported
+Chrome-trace document (:func:`render_timeline_from_trace`) — one source
+of truth for the live and offline views.
+
 Legend: ``.`` pending, ``R`` running, ``s`` stalled, ``x`` switching out,
 ``o`` switched out, ``r`` ready, ``i`` resuming (swap-in), ``#`` done.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Tuple
 
 from repro.core.policies import PolicySpec
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 from repro.gpu.workgroup import WGState
+from repro.trace import TraceConfig
+from repro.trace.derive import wg_state_transitions
 from repro.workloads.registry import build_benchmark
 
 _GLYPH = {
@@ -29,6 +38,25 @@ _GLYPH = {
     WGState.RESUMING: "i",
     WGState.DONE: "#",
 }
+
+_LEGEND = ("legend: . pending  R running  s stalled  x saving  "
+           "o switched-out  r ready  i restoring  # done")
+
+
+def glyph_for(state: WGState) -> str:
+    """The strip character for one WG state.
+
+    Raises rather than rendering a blank for an unmapped state — a new
+    ``WGState`` member must be given a glyph here, not silently vanish
+    from every timeline."""
+    try:
+        return _GLYPH[state]
+    except KeyError:
+        known = ", ".join(s.name for s in _GLYPH)
+        raise ValueError(
+            f"no timeline glyph for {state!r}; add it to "
+            f"experiments.timeline._GLYPH (known: {known})"
+        ) from None
 
 
 def trace_run(
@@ -44,7 +72,7 @@ def trace_run(
     config = GPUConfig(
         num_cus=num_cus,
         max_wgs_per_cu=max_wgs_per_cu,
-        trace_states=True,
+        trace=TraceConfig(categories=("wg",)),
         deadlock_window=250_000,
     )
     gpu = GPU(config, policy)
@@ -56,29 +84,54 @@ def trace_run(
     return gpu, outcome
 
 
-def render_timeline(gpu: GPU, width: int = 100) -> str:
-    """ASCII strip chart of every WG's state over the whole run."""
-    end = max(1, gpu.env.now)
+def _render_strips(
+    transitions: List[Tuple[int, int, WGState]],
+    wg_ids: List[int],
+    end: int,
+    width: int,
+) -> str:
+    end = max(1, end)
     bucket = max(1, end // width)
-    per_wg: Dict[int, List[tuple]] = {wg.wg_id: [] for wg in gpu.wgs}
-    for cycle, wg_id, state in gpu.state_trace:
-        per_wg[wg_id].append((cycle, state))
+    per_wg: Dict[int, List[tuple]] = {wg_id: [] for wg_id in wg_ids}
+    for cycle, wg_id, state in transitions:
+        per_wg.setdefault(wg_id, []).append((cycle, state))
     lines = [f"one column = {bucket:,} cycles; run = {end:,} cycles"]
-    for wg in gpu.wgs:
-        transitions = per_wg[wg.wg_id]
+    for wg_id in wg_ids:
+        steps = per_wg[wg_id]
         strip = []
         state = WGState.PENDING
         idx = 0
         for col in range(width):
             t = col * bucket
-            while idx < len(transitions) and transitions[idx][0] <= t:
-                state = transitions[idx][1]
+            while idx < len(steps) and steps[idx][0] <= t:
+                state = steps[idx][1]
                 idx += 1
-            strip.append(_GLYPH[state])
-        lines.append(f"WG{wg.wg_id:>3d} |{''.join(strip)}|")
-    lines.append("legend: . pending  R running  s stalled  x saving  "
-                 "o switched-out  r ready  i restoring  # done")
+            strip.append(glyph_for(state))
+        lines.append(f"WG{wg_id:>3d} |{''.join(strip)}|")
+    lines.append(_LEGEND)
     return "\n".join(lines)
+
+
+def render_timeline(gpu: GPU, width: int = 100) -> str:
+    """ASCII strip chart of every WG's state over the whole run."""
+    return _render_strips(
+        gpu.state_trace, [wg.wg_id for wg in gpu.wgs], gpu.env.now, width
+    )
+
+
+def render_timeline_from_trace(trace: Dict[str, Any], width: int = 100) -> str:
+    """The same strip chart, rebuilt from an exported Chrome-trace
+    document (``python -m repro trace ... --out t.json``)."""
+    transitions = [
+        (cycle, wg_id, WGState(name))
+        for cycle, wg_id, name in wg_state_transitions(trace)
+    ]
+    wg_ids = sorted({wg_id for _c, wg_id, _s in transitions})
+    end = max((c + 1 for c, _w, _s in transitions), default=1)
+    for ev in trace["traceEvents"]:
+        if ev.get("ph") == "X":
+            end = max(end, ev["ts"] + ev["dur"])
+    return _render_strips(transitions, wg_ids, end, width)
 
 
 def policy_signature(gpu: GPU, wg_id: int = 0) -> List[str]:

@@ -44,6 +44,9 @@ class FaultInjector:
 
     def _count(self, tag: str, n: int = 1) -> None:
         self.gpu.stats.counter(f"faults.{tag}").incr(n)
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("fault", tag, track="faults", n=n)
 
     # ------------------------------------------------------------------
     # (a) preemption storms

@@ -58,6 +58,10 @@ class CommandProcessor:
         yield self.gpu.hierarchy.bulk_transfer(nbytes)
         self.arena.save(wg.wg_id, nbytes)
         self.gpu.stats.counter("cp.context_saves").incr()
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("cp", "ctx-save", track="cp",
+                           wg=wg.wg_id, bytes=nbytes)
 
     def restore_context(self, wg: "WorkGroup"):
         """Generator: stream the WG context back in."""
@@ -67,6 +71,10 @@ class CommandProcessor:
         yield self.gpu.hierarchy.bulk_transfer(nbytes)
         self.arena.restore(wg.wg_id)
         self.gpu.stats.counter("cp.context_restores").incr()
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("cp", "ctx-restore", track="cp",
+                           wg=wg.wg_id, bytes=nbytes)
 
     # ------------------------------------------------------------------
     # waiting-WG tracking (Figure 13 accounting)
@@ -78,6 +86,10 @@ class CommandProcessor:
         addrs = {e.cond.addr for ways in syncmon._sets for e in ways}
         addrs.update(addr for (addr, _v) in self.spilled)
         self.peak_monitored_addrs = max(self.peak_monitored_addrs, len(addrs))
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.counter("cp", "cp.waiting_wgs", len(self._waiting_wgs))
+            tracer.counter("cp", "cp.monitored_addrs", len(addrs))
 
     def note_not_waiting(self, wg: "WorkGroup") -> None:
         self._waiting_wgs.discard(wg.wg_id)
@@ -90,14 +102,22 @@ class CommandProcessor:
 
     def _tick(self) -> None:
         log = self.gpu.monitor_log
+        tracer = self.gpu.tracer
         if log.occupancy:
             self.log_parses += 1
+            drained = 0
             for entry in log.drain():
                 key = (entry.addr, entry.value)
                 self.spilled.setdefault(key, set()).add(entry.wg_id)
+                drained += 1
             self.peak_spilled_conditions = max(
                 self.peak_spilled_conditions, len(self.spilled)
             )
+            if tracer is not None:
+                tracer.instant("cp", "log-parse", track="cp",
+                               entries=drained)
+                tracer.counter("cp", "cp.spilled_conditions",
+                               len(self.spilled))
         if self.spilled:
             self.resource.service(self.gpu.config.cp_check_cost)
             self._check_spilled()
@@ -111,9 +131,13 @@ class CommandProcessor:
             self.spilled_checks += 1
             if store.read(addr) == expected:
                 met.append((addr, expected, wg_ids))
+        tracer = self.gpu.tracer
         for addr, expected, wg_ids in met:
             del self.spilled[(addr, expected)]
             self.spilled_resumes += len(wg_ids)
+            if tracer is not None:
+                tracer.instant("cp", "spilled-resume", track="cp",
+                               addr=addr, wgs=sorted(wg_ids))
             self.gpu.dispatcher.notify_met(
                 sorted(wg_ids), cause="cp-spilled", stagger=0
             )

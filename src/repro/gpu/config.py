@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
+from repro.trace.config import TraceConfig
 
 
 @dataclass
@@ -97,8 +98,12 @@ class GPUConfig:
     #: advancement before declaring livelock (0 disables the check)
     livelock_windows: int = 8
     seed: int = 1
-    #: record every WG state transition (Figure 6 timeline rendering)
+    #: record every WG state transition (Figure 6 timeline rendering);
+    #: legacy switch, equivalent to ``trace=TraceConfig(categories=("wg",))``
     trace_states: bool = False
+    #: structured event tracing (:mod:`repro.trace`): category filters +
+    #: bounded ring buffer; None disables tracing entirely (zero cost)
+    trace: Optional[TraceConfig] = None
     #: deterministic fault-injection schedule (see :mod:`repro.faults`);
     #: None runs fault-free
     fault_plan: Optional[FaultPlan] = None

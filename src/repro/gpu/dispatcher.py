@@ -60,6 +60,10 @@ class Dispatcher:
         if wg.state is not WGState.SWITCHED_OUT:
             return
         wg.set_state(WGState.READY)
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("dispatch", "ready", track="dispatcher",
+                           wg=wg.wg_id, cause=cause)
         self.ready.append(wg)
         self.kick()
 
@@ -146,6 +150,10 @@ class Dispatcher:
         cu.allocate(wg)
         wg.cu = cu
         wg.started = True
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("dispatch", "dispatch", track="dispatcher",
+                           wg=wg.wg_id, cu=cu.cu_id)
         wg.set_state(WGState.RUNNING)
         self.dispatches += 1
         procs = [wf.start(cu.pick_simd()) for wf in wg.wavefronts]
@@ -160,6 +168,10 @@ class Dispatcher:
         # same pass (or a racing pass) cannot double-book it.
         cu.allocate(wg)
         wg.cu = cu
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.instant("dispatch", "swap-in", track="dispatcher",
+                           wg=wg.wg_id, cu=cu.cu_id)
         wg.set_state(WGState.RESUMING)
         self.swap_ins += 1
         Process(self.gpu.env, self._swap_in(wg, cu), name=f"swapin.wg{wg.wg_id}")
@@ -187,6 +199,12 @@ class Dispatcher:
     def _deliver(self, wg: "WorkGroup", cause: str) -> None:
         from repro.gpu.workgroup import WGState
 
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            # one "notify" per delivery attempt; a "drop" follows when the
+            # target was already on its way (delivered = notify - drop)
+            tracer.instant("dispatch", "notify", track="dispatcher",
+                           wg=wg.wg_id, cause=cause, state=wg.state.value)
         if wg.state is WGState.STALLED:
             ev = wg.resume_event
             if ev is not None and ev.try_succeed():
@@ -212,4 +230,7 @@ class Dispatcher:
             return
         # READY / RESUMING / DONE: the WG is already on its way
         # (Mesa semantics make dropped hints harmless).
+        if tracer is not None:
+            tracer.instant("dispatch", "drop", track="dispatcher",
+                           wg=wg.wg_id, cause=cause, state=wg.state.value)
         self.notifies_dropped += 1

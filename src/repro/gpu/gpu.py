@@ -35,6 +35,8 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStream
 from repro.sim.stats import StatRegistry
+from repro.trace.config import TraceConfig
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -72,6 +74,14 @@ class GPU:
         self.env = Engine()
         self.rng = RngStream(seed if seed is not None else config.seed, "gpu")
         self.stats = StatRegistry(self.env)
+        trace_cfg = config.trace
+        if trace_cfg is None and config.trace_states:
+            trace_cfg = TraceConfig(categories=("wg",))
+        #: structured event tracer (:mod:`repro.trace`); None = tracing off
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.env, trace_cfg, self.stats)
+            if trace_cfg is not None else None
+        )
         self.store = BackingStore()
         self.hierarchy = MemoryHierarchy(self.env, config, self.store)
         self.monitor_log = MonitorLog(self.store, config.monitor_log_entries)
@@ -85,6 +95,8 @@ class GPU:
         self.dispatcher = Dispatcher(self)
         self.cp = CommandProcessor(self)
         self.hierarchy.atomic_observer = self.syncmon.on_atomic
+        self.hierarchy.tracer = self.tracer
+        self.syncmon.tracer = self.tracer
         self.syncmon.resume_hook = self.dispatcher.notify_met
         self.wgs: List[WorkGroup] = []
         self.launches: List[KernelLaunch] = []
@@ -92,8 +104,6 @@ class GPU:
         self.advancement_count = 0
         self._finished = 0
         self.resource_loss_applied = False
-        #: (cycle, wg_id, WGState) transitions when config.trace_states
-        self.state_trace: List[tuple] = []
         self._completion_holds = 0
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan is not None and not config.fault_plan.is_noop:
@@ -107,6 +117,18 @@ class GPU:
 
             self.sanitizer = SyncSanitizer(self)
             self.hierarchy.sanitizer = self.sanitizer
+
+    @property
+    def state_trace(self) -> List[tuple]:
+        """(cycle, wg_id, WGState) transitions, derived from the tracer's
+        ``wg`` span stream (the single source of truth); [] with tracing
+        off or the ``wg`` category filtered out."""
+        if self.tracer is None:
+            return []
+        return [
+            (cycle, wg_id, WGState(name))
+            for cycle, wg_id, name in self.tracer.wg_transitions()
+        ]
 
     # ------------------------------------------------------------------
     # memory helpers for workloads
@@ -240,6 +262,14 @@ class GPU:
             # Drain same-cycle completion events (e.g. per-kernel AllOf
             # callbacks scheduled by the final WG's completion).
             env.run(until=env.now)
+
+        if self.tracer is not None:
+            if deadlocked:
+                self.tracer.instant(
+                    "wg", f"watchdog:{reason}", track="watchdog",
+                    finished=self._finished, total=len(self.wgs),
+                )
+            self.tracer.finish()
 
         if self.dropped_ops:
             # REPRO_DEBUG_OPS=1: a dropped op with no later op to report

@@ -33,6 +33,9 @@ def apply_resource_loss(gpu: "GPU", cu_id: int) -> int:
     # downstream of it — is reproducible across processes and runs.
     victims = sorted(cu.resident, key=lambda wg: wg.wg_id)
     gpu.stats.counter("preemption.evictions").incr(len(victims))
+    if gpu.tracer is not None:
+        gpu.tracer.instant("preempt", "cu-loss", track="preempt",
+                           cu=cu_id, evicted=[wg.wg_id for wg in victims])
     for wg in victims:
         wg.request_evict()
     gpu.resource_loss_applied = True
@@ -42,6 +45,9 @@ def apply_resource_loss(gpu: "GPU", cu_id: int) -> int:
 def apply_resource_restore(gpu: "GPU", cu_id: int) -> None:
     """Re-enable a previously disabled CU and let the dispatcher pack it."""
     gpu.cus[cu_id].enable()
+    if gpu.tracer is not None:
+        gpu.tracer.instant("preempt", "cu-restore", track="preempt",
+                           cu=cu_id)
     gpu.dispatcher.kick()
 
 

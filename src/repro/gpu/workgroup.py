@@ -122,8 +122,10 @@ class WorkGroup:
         now = self.gpu.env.now
         self.cycles_by_bucket[self._bucket(self.state)] += now - self._state_since
         self._state_since = now
-        if self.gpu.config.trace_states and new is not self.state:
-            self.gpu.state_trace.append((now, self.wg_id, new))
+        if new is not self.state:
+            tracer = self.gpu.tracer
+            if tracer is not None:
+                tracer.set_span("wg", f"wg/{self.wg_id}", new.value)
         self.state = new
 
     @property
@@ -223,9 +225,13 @@ class WorkGroup:
         env = gpu.env
         policy = gpu.policy
         cfg = gpu.config
+        tracer = gpu.tracer
 
         if outcome is RegisterOutcome.LOG_FULL:
             # Nowhere to store the condition: Mesa busy retry (§V.A).
+            if tracer is not None:
+                tracer.instant("wg", "wait:log-full",
+                               track=f"wg/{self.wg_id}", addr=cond.addr)
             yield env.timeout(cfg.log_full_retry)
             return
 
@@ -234,6 +240,9 @@ class WorkGroup:
             # was still in flight; never enter the waiting state.
             self.pending_notify = False
             self.spurious_wakeups += 1
+            if tracer is not None:
+                tracer.instant("wg", "wait:pending-notify",
+                               track=f"wg/{self.wg_id}", addr=cond.addr)
             yield env.timeout(cfg.resume_latency)
             return
 
@@ -248,8 +257,14 @@ class WorkGroup:
         oversub = gpu.dispatcher.has_runnable_work()
 
         # -- plan deadlines (absolute cycles); None = never ---------------
+        # retry_source names which timer the retry deadline came from
+        # ("interval" / "straggler" / "backstop") — surfaced as
+        # wait.retry.* stats and trace instants when the timer fires, so
+        # the differential suite can tell a scheduled wake-up from a
+        # window-of-vulnerability recovery.
         switch_deadline: Optional[int] = None
         retry_deadline: Optional[int] = None
+        retry_source = "interval"
         if policy.notify is NotifyMode.NONE:
             # Timeout policy: no monitor; pure timer.
             if oversub and policy.provides_ifp:
@@ -268,21 +283,34 @@ class WorkGroup:
             if self._timer_expired_cond == cond:
                 switch_deadline = started
             else:
-                switch_deadline = started + gpu.syncmon.stall_predictor.predict()
+                predicted = gpu.syncmon.stall_predictor.predict()
+                switch_deadline = started + predicted
+                if tracer is not None:
+                    tracer.instant("predict", "stall",
+                                   track=f"wg/{self.wg_id}",
+                                   cycles=predicted, addr=cond.addr)
             deadlines = [
-                d for d in (policy.timeout_interval, policy.backstop_timeout)
+                (d, src) for d, src in
+                ((policy.timeout_interval, "straggler"),
+                 (policy.backstop_timeout, "backstop"))
                 if d is not None
             ]
-            retry_deadline = started + min(deadlines) if deadlines else None
+            if deadlines:
+                soonest, retry_source = min(deadlines)
+                retry_deadline = started + soonest
         else:
             # Monitor policies: switch now iff oversubscribed.
             if oversub:
                 switch_deadline = started
-            straggler = policy.timeout_interval  # MonNR-One only
-            backstop = policy.backstop_timeout
-            deadlines = [d for d in (straggler, backstop) if d is not None]
+            deadlines = [
+                (d, src) for d, src in
+                ((policy.timeout_interval, "straggler"),  # MonNR-One only
+                 (policy.backstop_timeout, "backstop"))
+                if d is not None
+            ]
             if deadlines:
-                retry_deadline = started + min(deadlines)
+                soonest, retry_source = min(deadlines)
+                retry_deadline = started + soonest
 
         self.set_state(WGState.STALLED)
         gpu.cp.note_waiting(self)
@@ -313,8 +341,10 @@ class WorkGroup:
                     self.evict_event = Event(env)
                     if self.resident:
                         yield from self.switch_out()
-                        retry_deadline = self._switched_retry_deadline(
-                            retry_deadline, started
+                        retry_deadline, retry_source = (
+                            self._switched_retry_deadline(
+                                retry_deadline, retry_source
+                            )
                         )
                     continue
 
@@ -325,13 +355,20 @@ class WorkGroup:
                         # AWG: not oversubscribed — keep stalling for notify.
                         continue
                     yield from self.switch_out()
-                    retry_deadline = self._switched_retry_deadline(
-                        retry_deadline, started
+                    retry_deadline, retry_source = (
+                        self._switched_retry_deadline(
+                            retry_deadline, retry_source
+                        )
                     )
                     continue
 
                 # retry deadline: give up waiting, re-check the condition.
                 self._timer_expired_cond = cond
+                gpu.stats.counter(f"wait.retry.{retry_source}").incr()
+                if tracer is not None:
+                    tracer.instant("wg", f"retry:{retry_source}",
+                                   track=f"wg/{self.wg_id}", addr=cond.addr,
+                                   waited=env.now - started)
                 if registered and policy.uses_monitor:
                     gpu.syncmon.withdraw(self.wg_id, cond)
                 if not self.resident:
@@ -355,8 +392,9 @@ class WorkGroup:
         self.set_state(WGState.RUNNING)
         gpu.stats.running_mean("wg.wait_episode_cycles").add(env.now - started)
 
-    def _switched_retry_deadline(self, retry_deadline, started: int):
-        """Recompute the retry deadline after a context switch.
+    def _switched_retry_deadline(self, retry_deadline, retry_source: str):
+        """Recompute the (retry deadline, deadline source) after a
+        context switch.
 
         The straggler timeout only applies to *stalled* (resident) WGs —
         re-swapping a switched-out WG on a short timer would thrash the
@@ -366,5 +404,8 @@ class WorkGroup:
         policy = self.gpu.policy
         cfg = self.gpu.config
         if policy.notify is NotifyMode.NONE:
-            return retry_deadline
-        return self.gpu.env.now + (policy.backstop_timeout or cfg.backstop_timeout)
+            return retry_deadline, retry_source
+        deadline = self.gpu.env.now + (
+            policy.backstop_timeout or cfg.backstop_timeout
+        )
+        return deadline, "backstop"

@@ -1,0 +1,32 @@
+"""Structured execution tracing and metrics export (:mod:`repro.trace`).
+
+A :class:`~repro.trace.tracer.Tracer` is attached to a
+:class:`~repro.gpu.gpu.GPU` when :class:`~repro.gpu.config.GPUConfig`
+carries a :class:`~repro.trace.config.TraceConfig`. Instrumentation
+sites throughout the simulator (dispatcher, work-groups, SyncMon,
+Command Processor, preemption, fault injector, memory hierarchy) emit
+typed events into a bounded ring buffer:
+
+- **spans** for WG residency: one per state the WG occupies
+  (``running``, ``stalled``, ``switched_out``, ...);
+- **instants** for one-shot occurrences: dispatches, notifies, resume
+  predictions, faults, evictions, retry-timer expiries;
+- **counter samples** for occupancy curves: waiting conditions,
+  waiting WGs, Monitor Log fill.
+
+When ``GPUConfig.trace`` is None every instrumentation site reduces to
+one attribute check (``gpu.tracer is None``) — tracing is zero-cost
+when off and never alters simulated timing when on.
+
+Exports: Chrome/Perfetto ``trace_event`` JSON
+(:func:`~repro.trace.export.write_chrome_trace`, loadable at
+https://ui.perfetto.dev) and a flat metrics snapshot
+(:meth:`Tracer.metrics`). :mod:`repro.trace.derive` rebuilds the
+Figure 6 state timelines and the Figure 9/13 stat derivations from the
+exported trace, making the event stream the single source of truth.
+"""
+
+from repro.trace.config import CATEGORIES, TraceConfig
+from repro.trace.tracer import Tracer
+
+__all__ = ["CATEGORIES", "TraceConfig", "Tracer"]

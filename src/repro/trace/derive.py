@@ -1,0 +1,166 @@
+"""Derivations over exported traces: one source of truth for figures.
+
+Every helper here consumes the Chrome trace_event document produced by
+:func:`repro.trace.export.build_chrome_trace` (as a dict or a loaded
+JSON file) and reconstructs the quantities the experiment modules
+otherwise read from end-of-run stats:
+
+- :func:`wg_state_transitions` — the Figure 6 per-WG state timelines
+  (what :mod:`repro.experiments.timeline` renders);
+- :func:`atomic_count` / :func:`wait_efficiency` — the Figure 9
+  dynamic-atomic-count metric (requires the ``mem`` category);
+- :func:`cp_structure_bytes` — the Figure 13 CP data-structure peaks
+  (requires the ``sync`` and ``cp`` categories);
+- :func:`notify_breakdown` / :func:`retry_breakdown` — resume-cause and
+  retry-timer-cause histograms.
+
+Aggregate counts and counter peaks come from the trace's ``awg``
+sidecar, which is exact even when the bounded event ring dropped
+detail records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.trace.tracer import WG_TRACK_PREFIX
+
+
+class TraceDeriveError(ValueError):
+    """The trace is missing a category the derivation needs."""
+
+
+def _sidecar(trace: Dict[str, Any]) -> Dict[str, Any]:
+    try:
+        return trace["awg"]
+    except (TypeError, KeyError):
+        raise TraceDeriveError(
+            "not a repro trace: missing the 'awg' sidecar "
+            "(was this exported by repro.trace.export?)"
+        ) from None
+
+
+def _require(trace: Dict[str, Any], category: str, what: str) -> None:
+    if category not in _sidecar(trace).get("categories", ()):
+        raise TraceDeriveError(
+            f"deriving {what} needs the {category!r} trace category; "
+            f"this trace recorded {_sidecar(trace).get('categories')}"
+        )
+
+
+def counts(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Exact ``<cat>.<name>`` occurrence counts."""
+    return dict(_sidecar(trace)["counts"])
+
+
+def counter_peaks(trace: Dict[str, Any]) -> Dict[str, int]:
+    """High-water marks of every sampled occupancy counter."""
+    return dict(_sidecar(trace)["counterPeaks"])
+
+
+def thread_names(trace: Dict[str, Any]) -> Dict[int, str]:
+    """tid -> track name, from the trace's metadata events."""
+    return {
+        ev["tid"]: ev["args"]["name"]
+        for ev in trace["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 6: WG state timelines
+# ----------------------------------------------------------------------
+def wg_state_transitions(
+    trace: Dict[str, Any]
+) -> List[Tuple[int, int, str]]:
+    """(cycle, wg_id, state_name) transitions, in time order — the same
+    triples :attr:`GPU.state_trace` exposes, recovered from the export."""
+    _require(trace, "wg", "WG state timelines")
+    tracks = thread_names(trace)
+    out = []
+    for ev in trace["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        track = tracks.get(ev["tid"], "")
+        if not track.startswith(WG_TRACK_PREFIX):
+            continue
+        out.append((ev["ts"], int(track[len(WG_TRACK_PREFIX):]), ev["name"]))
+    # exports are (ts, seq)-sorted already; keep the guarantee explicit
+    return sorted(out, key=lambda t: t[0])
+
+
+# ----------------------------------------------------------------------
+# Figure 9: wait efficiency (dynamic atomic counts)
+# ----------------------------------------------------------------------
+def atomic_count(trace: Dict[str, Any]) -> int:
+    """Dynamic atomics issued to the L2 over the run."""
+    _require(trace, "mem", "atomic counts")
+    return int(counts(trace).get("mem.atomic", 0))
+
+
+def wait_efficiency(
+    traces: Dict[str, Dict[str, Any]], oracle: str = "MinResume"
+) -> Dict[str, float]:
+    """Figure 9's metric from traces alone: per-policy atomic counts
+    normalized to the MinResume oracle. ``traces`` maps policy name to
+    that policy's exported trace of the same (benchmark, scenario)."""
+    if oracle not in traces:
+        raise TraceDeriveError(f"need an {oracle!r} trace to normalize to")
+    base = max(1, atomic_count(traces[oracle]))
+    return {name: atomic_count(t) / base for name, t in traces.items()}
+
+
+# ----------------------------------------------------------------------
+# Figure 13: CP data-structure sizes
+# ----------------------------------------------------------------------
+def cp_structure_bytes(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Peak bytes of the CP's scheduling structures, from counter peaks
+    (mirrors :meth:`CommandProcessor.datastructure_bytes`)."""
+    from repro.gpu.command_processor import (
+        CONDITION_ENTRY_BYTES,
+        MONITORED_ADDR_BYTES,
+        MONITOR_TABLE_BYTES,
+        WAITING_WG_BYTES,
+    )
+
+    _require(trace, "sync", "CP structure sizes")
+    _require(trace, "cp", "CP structure sizes")
+    peaks = counter_peaks(trace)
+    conditions = (
+        peaks.get("syncmon.conditions", 0)
+        + peaks.get("cp.spilled_conditions", 0)
+    )
+    return {
+        "waiting_conditions": conditions * CONDITION_ENTRY_BYTES,
+        "monitored_addresses":
+            peaks.get("cp.monitored_addrs", 0) * MONITORED_ADDR_BYTES,
+        "waiting_wgs": peaks.get("cp.waiting_wgs", 0) * WAITING_WG_BYTES,
+        "monitor_table":
+            peaks.get("log.occupancy", 0) * MONITOR_TABLE_BYTES,
+    }
+
+
+# ----------------------------------------------------------------------
+# cause histograms
+# ----------------------------------------------------------------------
+def _prefixed(trace: Dict[str, Any], prefix: str) -> Dict[str, int]:
+    return {
+        key[len(prefix):]: n
+        for key, n in counts(trace).items()
+        if key.startswith(prefix)
+    }
+
+
+def notify_breakdown(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Resume notifications by cause (condition-met, sporadic,
+    straggler-timeout, cp-spilled, ...)."""
+    _require(trace, "sync", "the notify breakdown")
+    return _prefixed(trace, "sync.resume:")
+
+
+def retry_breakdown(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Retry-timer expiries by deadline source (interval, straggler,
+    backstop) — the vulnerable-wait signal the differential suite
+    asserts on."""
+    _require(trace, "wg", "the retry breakdown")
+    return _prefixed(trace, "wg.retry:")

@@ -1,0 +1,204 @@
+"""The event tracer: bounded ring of typed events + exact aggregate counts.
+
+Design constraints (the tentpole's acceptance criteria):
+
+- **Never perturbs the simulation.** The tracer schedules no events,
+  consumes no randomness and touches no simulated state; timestamps are
+  read from the engine clock. A traced run and an untraced run of the
+  same seed are cycle-identical.
+- **Zero-cost when off.** Call sites guard on ``gpu.tracer is None``;
+  category filtering inside the tracer is one frozenset lookup.
+- **Bit-deterministic.** Events carry a global sequence number; exports
+  sort by ``(ts, seq)`` so two runs of the same seed produce
+  byte-identical trace files.
+- **Bounded.** The ring holds ``TraceConfig.buffer_size`` events;
+  overflow drops the oldest and increments ``dropped``. The per-event
+  ``counts`` dict and counter peaks stay exact regardless.
+
+Event kinds map onto Chrome ``trace_event`` phases: spans → ``"X"``
+(complete events), instants → ``"i"``, counter samples → ``"C"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.sim.stats import StatRegistry
+    from repro.trace.config import TraceConfig
+
+#: WG tracks are named ``wg/<id>``; everything else is a singleton track
+WG_TRACK_PREFIX = "wg/"
+
+
+def wg_track(wg_id: int) -> str:
+    return f"{WG_TRACK_PREFIX}{wg_id}"
+
+
+class Tracer:
+    """Records spans/instants/counters for one GPU run."""
+
+    def __init__(
+        self,
+        env: "Engine",
+        config: "TraceConfig",
+        stats: Optional["StatRegistry"] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.categories = frozenset(config.categories)
+        self.stats = stats
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=config.buffer_size)
+        #: open spans: track -> {"cat","name","ts","seq","args"}
+        self._open: Dict[str, Dict[str, Any]] = {}
+        self._seq = 0
+        #: exact "<cat>.<name>" occurrence counts (never dropped)
+        self.counts: Dict[str, int] = {}
+        #: high-water marks of every sampled counter
+        self.counter_peaks: Dict[str, int] = {}
+        self.recorded = 0
+        self.dropped = 0
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def wants(self, cat: str) -> bool:
+        return cat in self.categories
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _bump(self, cat: str, name: str) -> None:
+        key = f"{cat}.{name}"
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self.stats is not None:
+            self.stats.counter(f"trace.{cat}").incr()
+
+    def _push(self, record: Dict[str, Any]) -> None:
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) >= ring.maxlen:
+            self.dropped += 1
+        ring.append(record)
+        self.recorded += 1
+
+    def instant(self, cat: str, name: str, track: str = "sim", **args) -> None:
+        """A one-shot occurrence (Chrome phase ``"i"``)."""
+        if cat not in self.categories:
+            return
+        self._bump(cat, name)
+        self._push({
+            "ph": "i", "cat": cat, "name": name, "ts": self.env.now,
+            "track": track, "args": args, "seq": self._next_seq(),
+        })
+
+    def count(self, cat: str, name: str, n: int = 1) -> None:
+        """Aggregate-only tick for high-frequency events (memory ops):
+        exact counts with no per-event ring record."""
+        if cat not in self.categories:
+            return
+        key = f"{cat}.{name}"
+        self.counts[key] = self.counts.get(key, 0) + n
+        if self.stats is not None:
+            self.stats.counter(f"trace.{cat}").incr(n)
+
+    def counter(self, cat: str, name: str, value: int) -> None:
+        """Sample a named occupancy counter (Chrome phase ``"C"``)."""
+        if cat not in self.categories:
+            return
+        self._bump(cat, name)
+        prev = self.counter_peaks.get(name)
+        if prev is None or value > prev:
+            self.counter_peaks[name] = value
+        self._push({
+            "ph": "C", "cat": cat, "name": name, "ts": self.env.now,
+            "track": name, "args": {"value": value},
+            "seq": self._next_seq(),
+        })
+
+    def set_span(self, cat: str, track: str, name: str, **args) -> None:
+        """Enter a new span on ``track``, closing the previous one at the
+        current cycle. Per-track spans are therefore contiguous and never
+        overlap (the per-WG state-machine invariant)."""
+        if cat not in self.categories:
+            return
+        self._close(track)
+        self._bump(cat, name)
+        self._open[track] = {
+            "cat": cat, "name": name, "ts": self.env.now,
+            "args": args, "seq": self._next_seq(),
+        }
+
+    def end_span(self, track: str) -> None:
+        self._close(track)
+
+    def _close(self, track: str) -> None:
+        span = self._open.pop(track, None)
+        if span is None:
+            return
+        self._push({
+            "ph": "X", "cat": span["cat"], "name": span["name"],
+            "ts": span["ts"], "dur": self.env.now - span["ts"],
+            "track": track, "args": span["args"], "seq": span["seq"],
+        })
+
+    def finish(self) -> None:
+        """Close every open span at the current cycle (end of run)."""
+        for track in sorted(self._open):
+            self._close(track)
+        self.finished = True
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """All retained events (plus still-open spans as zero-ended
+        snapshots), sorted by ``(ts, seq)``."""
+        out = list(self._ring)
+        now = self.env.now
+        for track, span in self._open.items():
+            out.append({
+                "ph": "X", "cat": span["cat"], "name": span["name"],
+                "ts": span["ts"], "dur": now - span["ts"],
+                "track": track, "args": span["args"], "seq": span["seq"],
+            })
+        out.sort(key=lambda r: (r["ts"], r["seq"]))
+        return out
+
+    def wg_transitions(self) -> List[Tuple[int, int, str]]:
+        """(cycle, wg_id, state_name) transitions derived from the "wg"
+        span stream — the legacy ``GPU.state_trace`` view."""
+        out = []
+        for rec in self.events():
+            if rec["ph"] == "X" and rec["track"].startswith(WG_TRACK_PREFIX):
+                out.append(
+                    (rec["ts"], int(rec["track"][len(WG_TRACK_PREFIX):]),
+                     rec["name"])
+                )
+        return out
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metrics snapshot of the observability layer itself."""
+        out: Dict[str, float] = {
+            "trace.events": float(self.recorded),
+            "trace.dropped": float(self.dropped),
+        }
+        for key in sorted(self.counts):
+            out[f"trace.count.{key}"] = float(self.counts[key])
+        for key in sorted(self.counter_peaks):
+            out[f"trace.peak.{key}"] = float(self.counter_peaks[key])
+        return out
+
+    def export_chrome(self, label: Optional[str] = None) -> Dict[str, Any]:
+        """Chrome/Perfetto ``trace_event`` JSON document (as a dict).
+
+        Timestamps are raw core cycles used as trace microseconds
+        (1 ts == 1 cycle) so exports are integer-exact and
+        bit-deterministic; ``otherData.clock`` records the convention.
+        """
+        from repro.trace.export import build_chrome_trace
+
+        return build_chrome_trace(self, label=label)

@@ -96,6 +96,35 @@ def test_round_trip_preserves_every_field(cache):
     assert cache.hits == 1 and cache.stores == 1
 
 
+def test_round_trip_preserves_trace_document(cache):
+    """RunResult.trace (a whole Chrome-trace dict) survives the cache
+    like ``diagnosis`` does, including the exact-count sidecar."""
+    trace = {
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+             "args": {"name": "t"}},
+            {"ph": "X", "name": "running", "cat": "wg", "ts": 0, "dur": 9,
+             "pid": 1, "tid": 1, "args": {}},
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"label": "t", "clock": "c", "generator": "repro.trace"},
+        "awg": {"recorded": 2, "dropped": 0, "counts": {"wg.running": 1},
+                "counterPeaks": {}, "categories": ["wg"]},
+    }
+    result = RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=9, completed=True, deadlocked=False, reason="completed",
+        atomics=1, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=9, wg_waiting_cycles=0,
+        stats={"trace.events": 2.0}, trace=trace,
+    )
+    cache.put("t" * 64, result)
+    loaded = cache.get("t" * 64)
+    assert loaded.trace == trace
+    from repro.trace.export import validate_chrome_trace
+    assert validate_chrome_trace(loaded.trace) == []
+
+
 def test_get_miss_and_corrupt_entry(cache, tmp_path):
     assert cache.get("0" * 64) is None
     assert cache.healed == 0  # a plain miss is not a heal

@@ -55,6 +55,36 @@ def test_run_command(capsys):
     assert "cycles" in out
 
 
+def test_trace_command_writes_valid_trace(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    assert main(["trace", "FAM_G", "awg", "--quick",
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "completed" in text
+    assert "perfetto" in text
+    assert out.exists()
+
+    from repro.trace.export import validate_trace_file
+    assert validate_trace_file(out) == []
+
+
+def test_trace_command_category_filter(tmp_path):
+    import json
+
+    out = tmp_path / "wg.json"
+    assert main(["trace", "SPM_G", "monnr-one", "--quick",
+                 "--categories", "wg,sync", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["awg"]["categories"] == ["wg", "sync"]
+    cats = {ev["cat"] for ev in doc["traceEvents"] if "cat" in ev}
+    assert cats <= {"wg", "sync"}
+
+
+def test_trace_command_needs_benchmark():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
 def test_run_command_needs_two_args():
     with pytest.raises(SystemExit):
         main(["run", "SPM_G"])

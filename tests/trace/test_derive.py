@@ -1,0 +1,119 @@
+"""Trace-stream derivations must agree with the end-of-run stats.
+
+The figures consume ``stats``; :mod:`repro.trace.derive` recomputes the
+same quantities from an exported trace. These tests pin the two
+pipelines together on real runs, plus the error paths for traces that
+lack a required category.
+"""
+
+import pytest
+
+from repro.core.policies import awg, minresume, monnr_all, monr_all, monrs_all
+from repro.experiments import QUICK_SCALE, run_benchmark
+from repro.experiments.fig9 import from_traces as fig9_from_traces
+from repro.experiments.fig13 import from_trace as fig13_from_trace
+from repro.trace import TraceConfig
+from repro.trace.derive import (
+    TraceDeriveError,
+    atomic_count,
+    counts,
+    notify_breakdown,
+    retry_breakdown,
+    thread_names,
+    wait_efficiency,
+    wg_state_transitions,
+)
+
+SCEN = QUICK_SCALE.scaled(
+    total_wgs=6, wgs_per_group=3, max_wgs_per_cu=1, iterations=1,
+    episodes=2, label="derive",
+)
+
+
+def traced(bench, policy, categories=None):
+    cfg = (TraceConfig() if categories is None
+           else TraceConfig(categories=categories))
+    return run_benchmark(bench, policy, SCEN, validate=False,
+                         config_overrides={"trace": cfg})
+
+
+@pytest.fixture(scope="module")
+def awg_run():
+    return traced("FAM_G", awg())
+
+
+def test_sidecar_required():
+    with pytest.raises(TraceDeriveError, match="sidecar"):
+        counts({"traceEvents": []})
+    with pytest.raises(TraceDeriveError):
+        counts(None)
+
+
+def test_missing_category_raises():
+    result = traced("FAM_G", awg(), categories=("wg",))
+    with pytest.raises(TraceDeriveError, match="'mem'"):
+        atomic_count(result.trace)
+    with pytest.raises(TraceDeriveError, match="'sync'"):
+        notify_breakdown(result.trace)
+    with pytest.raises(TraceDeriveError, match="'sync'"):
+        fig13_from_trace(result.trace)
+
+
+def test_thread_names_cover_wg_tracks(awg_run):
+    names = set(thread_names(awg_run.trace).values())
+    for wg_id in range(SCEN.total_wgs):
+        assert f"wg/{wg_id}" in names
+
+
+def test_wg_state_transitions_end_done(awg_run):
+    transitions = wg_state_transitions(awg_run.trace)
+    last = {}
+    for cycle, wg_id, state in transitions:
+        last[wg_id] = state
+    assert awg_run.ok
+    assert set(last) == set(range(SCEN.total_wgs))
+    assert all(state == "done" for state in last.values())
+
+
+def test_atomic_count_matches_device_stat(awg_run):
+    assert atomic_count(awg_run.trace) == awg_run.atomics
+    assert counts(awg_run.trace)["mem.atomic"] == awg_run.atomics
+
+
+def test_wait_efficiency_matches_fig9_stats_pipeline():
+    policies = [minresume(), monrs_all(), monr_all(), monnr_all()]
+    traces, stat_counts = {}, {}
+    for policy in policies:
+        result = traced("SPM_G", policy)
+        traces[policy.name] = result.trace
+        stat_counts[policy.name] = result.atomics
+    ratios = fig9_from_traces(traces)
+    oracle = max(1, stat_counts["MinResume"])
+    for name, expected in stat_counts.items():
+        assert ratios[name] == pytest.approx(expected / oracle)
+    assert ratios == wait_efficiency(traces, oracle="MinResume")
+
+
+def test_wait_efficiency_needs_the_oracle(awg_run):
+    with pytest.raises(TraceDeriveError, match="MinResume"):
+        wait_efficiency({"AWG": awg_run.trace})
+
+
+def test_cp_structure_bytes_matches_fig13_stats(awg_run):
+    derived = fig13_from_trace(awg_run.trace)
+    stats = awg_run.stats
+    assert derived["waiting_conditions"] == stats["cp.ds.waiting_conditions"]
+    assert derived["monitored_addresses"] == \
+        stats["cp.ds.monitored_addresses"]
+    assert derived["waiting_wgs"] == stats["cp.ds.waiting_wgs"]
+    assert derived["monitor_table"] == stats["cp.ds.monitor_table"]
+
+
+def test_notify_and_retry_breakdowns(awg_run):
+    notifies = notify_breakdown(awg_run.trace)
+    assert notifies, "oversubscribed AWG run must resume someone"
+    assert all(n > 0 for n in notifies.values())
+    retries = retry_breakdown(awg_run.trace)
+    for source in retries:
+        assert source in ("interval", "straggler", "backstop")
+        assert awg_run.stats[f"wait.retry.{source}"] == retries[source]

@@ -1,0 +1,150 @@
+"""Tracer unit tests: ring bounds, span bookkeeping, category filters."""
+
+from repro.trace import TraceConfig
+from repro.trace.tracer import Tracer, wg_track
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+
+def make(categories=("wg", "sync"), buffer_size=16, stats=None):
+    clock = FakeClock()
+    return clock, Tracer(clock, TraceConfig(
+        categories=categories, buffer_size=buffer_size), stats)
+
+
+def test_wants_respects_category_filter():
+    _clock, tracer = make(categories=("wg",))
+    assert tracer.wants("wg")
+    assert not tracer.wants("sync")
+
+
+def test_filtered_categories_record_nothing():
+    _clock, tracer = make(categories=("wg",))
+    tracer.instant("sync", "register", track="syncmon")
+    tracer.set_span("sync", "syncmon", "busy")
+    tracer.counter("sync", "occupancy", 3)
+    tracer.count("sync", "tick")
+    assert tracer.recorded == 0
+    assert tracer.counts == {}
+    assert tracer.counter_peaks == {}
+
+
+def test_instants_carry_clock_and_args():
+    clock, tracer = make()
+    clock.now = 42
+    tracer.instant("sync", "register", track="syncmon", wg=3)
+    (ev,) = tracer.events()
+    assert ev["ph"] == "i"
+    assert ev["ts"] == 42
+    assert ev["args"] == {"wg": 3}
+    assert tracer.counts == {"sync.register": 1}
+
+
+def test_set_span_closes_previous_span_on_same_track():
+    clock, tracer = make()
+    track = wg_track(0)
+    tracer.set_span("wg", track, "running")
+    clock.now = 10
+    tracer.set_span("wg", track, "stalled")
+    clock.now = 25
+    tracer.finish()
+    spans = [ev for ev in tracer.events() if ev["ph"] == "X"]
+    assert [(s["name"], s["ts"], s["dur"]) for s in spans] == [
+        ("running", 0, 10), ("stalled", 10, 15),
+    ]
+
+
+def test_end_span_without_open_span_is_a_noop():
+    _clock, tracer = make()
+    tracer.end_span(wg_track(0))
+    assert tracer.recorded == 0
+
+
+def test_open_spans_appear_in_events_snapshot():
+    clock, tracer = make()
+    tracer.set_span("wg", wg_track(1), "running")
+    clock.now = 7
+    (ev,) = tracer.events()
+    assert ev["ph"] == "X" and ev["dur"] == 7
+    assert not tracer.finished
+    tracer.finish()
+    assert tracer.finished
+
+
+def test_ring_overflow_drops_oldest_but_counts_stay_exact():
+    clock, tracer = make(buffer_size=4)
+    for i in range(10):
+        clock.now = i
+        tracer.instant("sync", "notify", track="syncmon", i=i)
+    assert tracer.recorded == 10
+    assert tracer.dropped == 6
+    assert tracer.counts == {"sync.notify": 10}
+    kept = tracer.events()
+    assert len(kept) == 4
+    assert [ev["ts"] for ev in kept] == [6, 7, 8, 9]
+
+
+def test_count_is_aggregate_only():
+    _clock, tracer = make()
+    tracer.count("sync", "probe", n=5)
+    tracer.count("sync", "probe")
+    assert tracer.counts == {"sync.probe": 6}
+    assert tracer.events() == []
+
+
+def test_counter_tracks_peak():
+    clock, tracer = make()
+    for value in (2, 9, 4):
+        clock.now += 1
+        tracer.counter("sync", "occupancy", value)
+    assert tracer.counter_peaks == {"occupancy": 9}
+    assert [ev["args"]["value"] for ev in tracer.events()] == [2, 9, 4]
+
+
+def test_events_sorted_by_time_then_sequence():
+    clock, tracer = make()
+    tracer.instant("sync", "a", track="syncmon")
+    tracer.instant("sync", "b", track="syncmon")
+    clock.now = 5
+    tracer.instant("sync", "c", track="syncmon")
+    names = [ev["name"] for ev in tracer.events()]
+    assert names == ["a", "b", "c"]
+
+
+def test_wg_transitions_view():
+    clock, tracer = make()
+    tracer.set_span("wg", wg_track(2), "running")
+    clock.now = 8
+    tracer.set_span("wg", wg_track(2), "done")
+    tracer.instant("sync", "noise", track="syncmon")
+    tracer.finish()
+    assert tracer.wg_transitions() == [(0, 2, "running"), (8, 2, "done")]
+
+
+def test_metrics_snapshot():
+    clock, tracer = make(buffer_size=1)
+    tracer.instant("sync", "a", track="syncmon")
+    clock.now = 1
+    tracer.instant("sync", "b", track="syncmon")
+    tracer.counter("sync", "occupancy", 3)
+    metrics = tracer.metrics()
+    assert metrics["trace.events"] == 3.0
+    assert metrics["trace.dropped"] == 2.0
+    assert metrics["trace.count.sync.a"] == 1.0
+    assert metrics["trace.peak.occupancy"] == 3.0
+
+
+def test_stats_integration():
+    from repro.sim.stats import StatRegistry
+
+    clock = FakeClock()
+    stats = StatRegistry(clock)
+    tracer = Tracer(clock, TraceConfig(categories=("wg", "sync")), stats)
+    tracer.instant("wg", "retry", track=wg_track(0))
+    tracer.count("sync", "probe", n=4)
+    snapshot = stats.snapshot()
+    assert snapshot["trace.wg"] == 1
+    assert snapshot["trace.sync"] == 4
