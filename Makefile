@@ -6,16 +6,21 @@
 #   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
 #   make faults-smoke  fault-injection campaign, smoke scale (IFP table)
 #   make trace-smoke   export one trace and validate the Perfetto schema
+#   make recovery-smoke  kill-and-resume a tiny sweep, replay + shrink
+#                        a drill repro bundle
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
 # REPRO_CACHE_DIR (cache root), REPRO_CELL_TIMEOUT (per-cell wall-clock
-# seconds), REPRO_CELL_RETRIES (crashed-worker retry rounds).
+# seconds), REPRO_CELL_RETRIES (environmental-failure retry rounds),
+# REPRO_CHECKPOINT=1 / REPRO_CHECKPOINT_DIR (sweep crash-resume
+# manifests), REPRO_BUNDLE_DIR (emit repro bundles for failing cells).
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke faults-smoke trace-smoke clean-cache
+.PHONY: test lint bench bench-smoke faults-smoke trace-smoke \
+	recovery-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -37,6 +42,9 @@ trace-smoke:
 	$(PY) -m repro trace FAM_G awg --quick --out .trace-smoke.json
 	$(PY) -m repro.trace.export .trace-smoke.json
 	rm -f .trace-smoke.json
+
+recovery-smoke:
+	$(PY) -m repro.recovery.smoke
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

@@ -14,6 +14,13 @@ Usage::
     awg-repro faults --seed 7 --plans storm,chaos
     awg-repro cache                 # show result-cache location / size
     awg-repro cache --clear         # drop every cached result
+    awg-repro cache --verify        # integrity sweep; quarantine corrupt
+    awg-repro matrix --list         # checkpointed sweeps awaiting resume
+    awg-repro matrix --resume       # finish the newest interrupted sweep
+    awg-repro matrix --resume KEY   # ... or one sweep by key prefix
+    awg-repro replay BUNDLE         # re-run a repro bundle's failure
+    awg-repro shrink BUNDLE         # delta-debug a bundle to minimal form
+    awg-repro faults --bundles DIR --shrink   # bundle + minimize violations
     awg-repro lint                  # static kernel linter (default paths)
     awg-repro lint --json src/repro/workloads
     awg-repro sanitize SPM_G awg    # dynamic race detection run
@@ -70,17 +77,124 @@ def _run_ablations(quick: bool, **kw) -> None:
     print(ablations.stall_prediction(**kw).render())
 
 
-def _run_cache_command(clear: bool) -> int:
+def _run_cache_command(clear: bool, verify: bool = False) -> int:
     cache = ResultCache(default_cache_dir())
     if clear:
         removed = cache.clear()
         print(f"cleared {removed} cached results from {cache.root}")
         return 0
+    if verify:
+        report = cache.verify(quarantine=True)
+        print(report.render())
+        return 0 if report.clean else 1
     print(f"cache dir:     {cache.root}")
     print(f"entries:       {cache.entry_count()}")
     print(f"fingerprint:   {cache.fingerprint}")
     print("clear with:    awg-repro cache --clear "
           "(or delete the directory)")
+    print("verify with:   awg-repro cache --verify")
+    return 0
+
+
+def _run_matrix_command(opts, parser, matrix_kw) -> int:
+    """Inspect / resume / clear checkpointed sweeps."""
+    from repro.experiments.matrix import RunRequest, run_matrix
+    from repro.recovery.manifest import (
+        default_checkpoint_dir, list_manifests, load_manifest,
+    )
+
+    root = default_checkpoint_dir()
+    manifests = list_manifests(root)
+    if opts.clear:
+        import shutil
+
+        if root.is_dir():
+            shutil.rmtree(root)
+        print(f"cleared {len(manifests)} checkpoint manifest(s) from {root}")
+        return 0
+    if not opts.resume:
+        print(f"checkpoint dir: {root}")
+        if not manifests:
+            print("no interrupted sweeps (checkpointed sweeps delete "
+                  "their manifest on completion)")
+            return 0
+        for m in manifests:
+            print(f"  {m['sweep_key']}: {m['completed']}/{m['total']} "
+                  f"cells done (fingerprint {m['fingerprint']})")
+        print("resume with:    awg-repro matrix --resume [KEY]")
+        return 0
+    if opts.args:
+        document = load_manifest(opts.args[0], root)
+    elif manifests:
+        document = load_manifest(manifests[0]["sweep_key"], root)
+    else:
+        print(f"nothing to resume under {root}", file=sys.stderr)
+        return 1
+    requests = [RunRequest.from_spec(cell["spec"])
+                for cell in document["cells"]]
+    print(f"resuming sweep {document['sweep_key']}: "
+          f"{len(document.get('completed', {}))}/{len(requests)} cells "
+          f"already done")
+    result = run_matrix(requests, checkpoint=root, **matrix_kw)
+    print(result.summary())
+    for error in result.errors:
+        print(f"  FAILED {error.request.benchmark}/"
+              f"{error.request.policy.name}: {error.failure['type']}: "
+              f"{error.failure['message']}", file=sys.stderr)
+    return 0 if not result.errors else 1
+
+
+def _run_replay(opts, parser) -> int:
+    """Re-run a repro bundle and verify its failure reproduces."""
+    import json
+
+    from repro.recovery.bundle import load_bundle, replay_bundle
+
+    if len(opts.args) != 1:
+        parser.error("replay needs BUNDLE")
+    bundle = load_bundle(opts.args[0])
+    report = replay_bundle(bundle, trace=opts.trace)
+    request = bundle["request"]
+    policy = request["policy"]["name"]
+    label = request["scenario"]["label"]
+    print(f"replaying {request['benchmark']} / {policy} [{label}] — "
+          f"expecting {report['expected']['mode']}")
+    if opts.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    if opts.trace and opts.out:
+        from repro.trace.export import write_chrome_trace
+
+        trace = (report["observed"].get("result") or {}).get("trace")
+        if trace is not None:
+            write_chrome_trace(trace, opts.out)
+            print(f"  wrote trace to {opts.out}")
+    if report["reproduced"]:
+        print(f"REPRODUCED: observed {report['observed']['mode']} matches "
+              f"the recorded failure")
+        return 0
+    print(f"NOT reproduced: observed {report['observed']['mode']}, "
+          f"expected {report['expected']['mode']} "
+          f"(code fingerprint in bundle provenance: "
+          f"{bundle['provenance'].get('fingerprint')})", file=sys.stderr)
+    return 1
+
+
+def _run_shrink(opts, parser) -> int:
+    """Delta-debug a repro bundle down to a minimal failing scenario."""
+    from pathlib import Path
+
+    from repro.recovery.bundle import load_bundle, write_bundle
+    from repro.recovery.shrink import shrink_bundle
+
+    if len(opts.args) != 1:
+        parser.error("shrink needs BUNDLE")
+    source = Path(opts.args[0])
+    bundle = load_bundle(source)
+    result = shrink_bundle(bundle)
+    print(result.render())
+    out_dir = Path(opts.out) if opts.out else source.parent
+    path = write_bundle(result.minimal, out_dir)
+    print(f"minimal bundle: {path}")
     return 0
 
 
@@ -95,6 +209,7 @@ def _run_faults(opts, **matrix_kw) -> int:
     started = time.time()
     result = faults_campaign.run(
         seed=opts.seed, smoke=opts.smoke or opts.quick, plans=plans,
+        bundle_dir=opts.bundles, shrink=opts.shrink,
         **matrix_kw,
     )
     print(result.render())
@@ -102,6 +217,8 @@ def _run_faults(opts, **matrix_kw) -> int:
     if not result.ok:
         print(f"FAILED: {len(result.violations)} IFP-contract violation(s)",
               file=sys.stderr)
+        for path in result.bundles:
+            print(f"  repro bundle: {path}", file=sys.stderr)
         return 1
     return 0
 
@@ -213,6 +330,19 @@ def _run_experiment(name: str, quick: bool, chart: bool = False,
 
 
 def main(argv=None) -> int:
+    """Dispatch one command; SIGINT/SIGTERM during a checkpointed sweep
+    exits with the conventional 128+signum after the manifest flush (the
+    sweep is resumable via ``matrix --resume`` or by re-running)."""
+    from repro.experiments.matrix import SweepInterrupted
+
+    try:
+        return _dispatch(argv)
+    except SweepInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        return 128 + exc.signum
+
+
+def _dispatch(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="awg-repro",
         description="Reproduce 'Independent Forward Progress of "
@@ -246,7 +376,25 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear", action="store_true",
-                        help="for 'cache': delete every cached result")
+                        help="for 'cache'/'matrix': delete every cached "
+                             "result / checkpoint manifest")
+    parser.add_argument("--verify", action="store_true",
+                        help="for 'cache': re-hash every entry and "
+                             "quarantine corrupt ones (exit 1 if any)")
+    parser.add_argument("--list", action="store_true", dest="list_",
+                        help="for 'matrix': list interrupted sweeps")
+    parser.add_argument("--resume", action="store_true",
+                        help="for 'matrix': resume an interrupted sweep "
+                             "(newest, or the KEY positional)")
+    parser.add_argument("--trace", action="store_true",
+                        help="for 'replay': re-run with structured "
+                             "tracing on (write with --out)")
+    parser.add_argument("--bundles", default=None, metavar="DIR",
+                        help="for 'faults': write a repro bundle per "
+                             "violating cell into DIR")
+    parser.add_argument("--shrink", action="store_true",
+                        help="for 'faults': also minimize each emitted "
+                             "bundle (delta debugging)")
     parser.add_argument("--json", action="store_true",
                         help="for 'lint'/'sanitize': machine-readable output")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -273,7 +421,7 @@ def main(argv=None) -> int:
 
         print("experiments:", ", ".join(EXPERIMENTS))
         print("extras:      ablations, faults, timeline, cache, "
-              "lint, sanitize, trace")
+              "lint, sanitize, trace, matrix, replay, shrink")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
@@ -299,7 +447,16 @@ def main(argv=None) -> int:
         return _run_faults(opts, **matrix_kw)
 
     if opts.command == "cache":
-        return _run_cache_command(opts.clear)
+        return _run_cache_command(opts.clear, opts.verify)
+
+    if opts.command == "matrix":
+        return _run_matrix_command(opts, parser, matrix_kw)
+
+    if opts.command == "replay":
+        return _run_replay(opts, parser)
+
+    if opts.command == "shrink":
+        return _run_shrink(opts, parser)
 
     if opts.command == "all":
         for name in EXPERIMENTS:

@@ -26,8 +26,8 @@ failed, but arms no monitor — it waits a fixed interval and retries.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigError
 
@@ -102,6 +102,24 @@ class PolicySpec:
 
     def with_overrides(self, **kwargs) -> "PolicySpec":
         return replace(self, **kwargs)
+
+    # -- canonical serialization (cache keys / repro bundles) ----------
+    def spec(self) -> Dict[str, Any]:
+        """JSON-serializable dict that fully determines this policy."""
+        return {
+            f.name: (v.value if isinstance(v := getattr(self, f.name),
+                                           enum.Enum) else v)
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "PolicySpec":
+        """Inverse of :meth:`spec` (replay bundles, resumed sweeps)."""
+        kwargs = dict(spec)
+        kwargs["mechanism"] = WaitMechanism(kwargs["mechanism"])
+        kwargs["notify"] = NotifyMode(kwargs["notify"])
+        kwargs["resume"] = ResumeMode(kwargs["resume"])
+        return cls(**kwargs)
 
 
 # ---------------------------------------------------------------------------

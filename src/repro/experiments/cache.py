@@ -27,11 +27,16 @@ import hashlib
 import json
 import os
 import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.experiments.runner import RunResult
+
+#: entry layout is ``<2-hex-char shard>/<key>.json``; the glob must not
+#: sweep up the ``quarantine/`` directory the integrity check fills
+_ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.json"
 
 #: RunResult fields persisted to disk (everything except ``gpu``)
 RESULT_FIELDS = (
@@ -53,6 +58,27 @@ RESULT_FIELDS = (
 )
 
 _FINGERPRINT: Optional[str] = None
+
+
+def result_to_payload(result: RunResult) -> Dict[str, Any]:
+    """The persisted (JSON-serializable) form of a RunResult — every
+    field except the never-picklable GPU handle. Shared by the result
+    cache, sweep checkpoint manifests and repro bundles so all three
+    stores round-trip results identically."""
+    return {name: getattr(result, name) for name in RESULT_FIELDS}
+
+
+def result_from_payload(payload: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_payload`."""
+    return RunResult(**payload)
+
+
+def payload_digest(body: Dict[str, Any]) -> str:
+    """Content hash of a persisted result body, stored alongside it so
+    an integrity sweep can detect torn or bit-rotted entries."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def code_fingerprint() -> str:
@@ -89,6 +115,29 @@ def default_cache() -> Optional["ResultCache"]:
     if not cache_enabled():
         return None
     return ResultCache(default_cache_dir())
+
+
+@dataclass
+class CacheVerifyReport:
+    """Outcome of a :meth:`ResultCache.verify` integrity sweep."""
+
+    checked: int = 0
+    ok: int = 0
+    #: one ``{"path", "problem", "quarantined_to"?}`` record per bad entry
+    corrupt: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def render(self) -> str:
+        lines = [f"verified {self.checked} entries: {self.ok} intact, "
+                 f"{len(self.corrupt)} corrupt"]
+        for entry in self.corrupt:
+            lines.append(f"  CORRUPT {entry['path']}: {entry['problem']}")
+            if "quarantined_to" in entry:
+                lines.append(f"    quarantined to {entry['quarantined_to']}")
+        return "\n".join(lines)
 
 
 class ResultCache:
@@ -158,11 +207,16 @@ class ResultCache:
             )
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        body = {name: getattr(result, name) for name in RESULT_FIELDS}
+        body = result_to_payload(result)
+        document = {
+            "result": body,
+            "key": key,
+            "digest": payload_digest(body),
+        }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             with open(tmp, "w") as fh:
-                fh.write(json.dumps({"result": body}, sort_keys=True))
+                fh.write(json.dumps(document, sort_keys=True))
                 fh.flush()
                 os.fsync(fh.fileno())
             tmp.replace(path)
@@ -172,10 +226,65 @@ class ResultCache:
         self.stores += 1
 
     # -- maintenance ---------------------------------------------------
+    def verify(self, quarantine: bool = True) -> "CacheVerifyReport":
+        """Integrity sweep: re-hash every stored payload against its
+        recorded content digest and check the entry is well-formed (its
+        embedded key matches its filename and the payload reconstructs a
+        :class:`RunResult`).
+
+        Corrupt entries are moved into ``<root>/quarantine/`` (or merely
+        reported with ``quarantine=False``) so the evidence survives for
+        inspection while future sweeps re-simulate the cell. Entries from
+        before digests were recorded are treated as corrupt — their
+        integrity cannot be established."""
+        report = CacheVerifyReport()
+        if not self.root.is_dir():
+            return report
+        for path in sorted(self.root.glob(_ENTRY_GLOB)):
+            report.checked += 1
+            problem = self._check_entry(path)
+            if problem is None:
+                report.ok += 1
+                continue
+            entry = {"path": str(path), "problem": problem}
+            if quarantine:
+                dest = self.root / "quarantine" / path.name
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    path.replace(dest)
+                    entry["quarantined_to"] = str(dest)
+                except OSError:
+                    pass
+            report.corrupt.append(entry)
+        return report
+
+    def _check_entry(self, path: Path) -> Optional[str]:
+        """None when the entry is intact, else a one-line problem."""
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return f"unreadable JSON ({exc})"
+        if not isinstance(document, dict) or "result" not in document:
+            return "no result payload"
+        if "digest" not in document or "key" not in document:
+            return "pre-digest entry (no integrity record)"
+        if document["key"] != path.stem:
+            return (f"embedded key {document['key'][:12]}… does not match "
+                    f"filename")
+        actual = payload_digest(document["result"])
+        if actual != document["digest"]:
+            return (f"payload digest mismatch (stored "
+                    f"{document['digest'][:12]}…, actual {actual[:12]}…)")
+        try:
+            result_from_payload(document["result"])
+        except (TypeError, ValueError) as exc:
+            return f"payload does not reconstruct a RunResult ({exc})"
+        return None
+
     def entry_count(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.root.glob(_ENTRY_GLOB))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -68,6 +68,8 @@ class CampaignResult:
     table: ExperimentResult
     violations: List[str] = field(default_factory=list)
     matrix: Optional[MatrixResult] = None
+    #: repro bundles written for violating cells (with ``bundle_dir``)
+    bundles: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -82,6 +84,51 @@ def _expectation(policy: PolicySpec, plan: FaultPlan) -> str:
             else "deadlock")
 
 
+def _emit_violation_bundles(
+    bundle_dir, violating, shrink: bool,
+) -> List[str]:
+    """Write one repro bundle per replayable violating cell; with
+    ``shrink`` also write the delta-debugged minimal bundle and its
+    shrink log next to it (``.min.json`` / ``.shrinklog.json``)."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.recovery.bundle import make_bundle, write_bundle
+    from repro.recovery.shrink import shrink_bundle
+
+    paths: List[str] = []
+    for request, cell in violating:
+        if cell.result is not None and cell.result.deadlocked:
+            bundle = make_bundle(request, result=cell.result)
+        elif (cell.failure is not None
+              and cell.failure.get("type") != "WorkerCrashError"):
+            bundle = make_bundle(request, failure=cell.failure)
+        else:
+            continue  # e.g. completed-when-deadlock-expected: no failure
+        path = write_bundle(bundle, bundle_dir)
+        paths.append(str(path))
+        if not shrink:
+            continue
+        try:
+            shrunk = shrink_bundle(bundle)
+        except ReproError:
+            continue  # not reproducible in-process; keep the full bundle
+        minimal = Path(str(path).replace(".json", ".min.json"))
+        write_bundle(shrunk.minimal, minimal.parent)
+        # write_bundle names by content; link the pair via the log
+        log_path = Path(str(path).replace(".json", ".shrinklog.json"))
+        log_path.write_text(json.dumps({
+            "source": str(path),
+            "initial_size": shrunk.initial_size,
+            "final_size": shrunk.final_size,
+            "trials": shrunk.trials,
+            "log": shrunk.log,
+        }, indent=2, sort_keys=True))
+        paths.append(str(log_path))
+    return paths
+
+
 def run(
     seed: int = 1,
     smoke: bool = False,
@@ -91,8 +138,15 @@ def run(
     scenario: Optional[Scenario] = None,
     jobs: Optional[int] = None,
     cache="default",
+    bundle_dir=None,
+    shrink: bool = False,
 ) -> CampaignResult:
-    """Run the campaign; see the module docstring for the contract."""
+    """Run the campaign; see the module docstring for the contract.
+
+    With ``bundle_dir`` set, every violating cell that carries a
+    replayable failure (a deadlock diagnosis or a raised exception)
+    emits a repro bundle there; ``shrink=True`` additionally minimizes
+    each bundle with :func:`repro.recovery.shrink.shrink_bundle`."""
     scenario = scenario or (SMOKE_SCALE if smoke else CAMPAIGN_SCALE)
     scenario = scenario.scaled(seed=seed)
     benchmarks = benchmarks or (
@@ -109,7 +163,8 @@ def run(
         for bench in benchmarks
         for policy in policies
     ]
-    matrix = run_matrix(requests, jobs=jobs, cache=cache)
+    matrix = run_matrix(requests, jobs=jobs, cache=cache,
+                        bundle_dir=bundle_dir)
 
     table = ExperimentResult(
         title=f"Fault campaign (seed={seed}, "
@@ -119,6 +174,7 @@ def run(
     )
     violations: List[str] = []
     misses: List[str] = []
+    violating_cells = []
     index = 0
     for plan in plans:
         for bench in benchmarks:
@@ -133,6 +189,7 @@ def run(
                         f"{row} / {policy.name}: cell failed "
                         f"({cell.failure['type']}: {cell.failure['message']})"
                     )
+                    violating_cells.append((cell.request, cell))
                     continue
                 res = cell.result
                 if res.ok:
@@ -159,11 +216,13 @@ def run(
                         f"complete ({res.reason} at cycle {res.cycles:,}, "
                         f"plan {plan.describe()})"
                     )
+                    violating_cells.append((cell.request, cell))
                 elif res.diagnosis is None:
                     violations.append(
                         f"{row} / {policy.name}: deadlock without a "
                         f"structured diagnosis ({res.reason})"
                     )
+                    violating_cells.append((cell.request, cell))
 
     table.notes.append(
         "IFP contract: IFP policies complete every plan; non-IFP "
@@ -180,7 +239,13 @@ def run(
     else:
         table.notes.append("IFP contract held for every cell")
     table.notes.append(matrix.summary())
-    return CampaignResult(table=table, violations=violations, matrix=matrix)
+    bundles: List[str] = []
+    if bundle_dir is not None and violating_cells:
+        bundles = _emit_violation_bundles(bundle_dir, violating_cells, shrink)
+        table.notes.append(
+            f"wrote {len(bundles)} repro-bundle file(s) to {bundle_dir}")
+    return CampaignResult(table=table, violations=violations, matrix=matrix,
+                          bundles=bundles)
 
 
 def main() -> None:  # pragma: no cover

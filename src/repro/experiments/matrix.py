@@ -24,7 +24,20 @@ The runner survives misbehaving cells and workers:
 - Failures come back as *structured* entries (exception type, message,
   deadlock diagnosis when available, traceback) on
   :attr:`MatrixResult.errors`, and figure code can degrade to partial
-  output via :meth:`MatrixResult.try_get`.
+  output via :meth:`MatrixResult.try_get`. Each failure is classified
+  ``deterministic`` (the simulation itself raised — retrying the same
+  seed and plan would fail identically) or ``environmental`` (timeout,
+  crashed worker); only environmental failures are retried.
+- With checkpointing on (``checkpoint=True`` / ``REPRO_CHECKPOINT=1``),
+  the sweep writes an atomic manifest (:mod:`repro.recovery.manifest`)
+  after every completed cell. A sweep killed mid-flight — crash,
+  SIGINT/SIGTERM, ``BrokenProcessPool`` — resumes on the next identical
+  invocation (or via ``python -m repro matrix --resume``) executing only
+  the missing cells. SIGINT/SIGTERM additionally flush the manifest and
+  kill the pool's worker processes instead of leaking them.
+- With ``bundle_dir`` (or ``REPRO_BUNDLE_DIR``) set, every failing cell
+  emits a self-contained replayable repro bundle
+  (:mod:`repro.recovery.bundle`).
 
 Simulations are seeded and deterministic, so ``jobs=1`` and ``jobs=N``
 produce bit-identical :class:`RunResult` fields.
@@ -44,17 +57,26 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
+from pathlib import Path
 from typing import (
-    Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
+    Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
 )
 
 from repro.core.policies import PolicySpec
 from repro.errors import ConfigError, DeadlockError, ReproError
 from repro.experiments.cache import ResultCache, default_cache
 from repro.experiments.runner import RunResult, Scenario, run_benchmark
+from repro.recovery.manifest import (
+    SweepCheckpoint, cell_key, checkpoint_enabled,
+)
 
 #: sentinel: "use the process-wide default cache unless opted out"
 DEFAULT_CACHE = "default"
+
+#: test/observability hook: when set to a path, every cell *execution*
+#: (not cache/checkpoint hit) appends one line — how the kill-and-resume
+#: tests prove completed cells are not re-executed after a resume
+EXEC_LOG_ENV = "REPRO_EXEC_LOG"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -140,12 +162,28 @@ class RunRequest:
         """Canonical dict of everything that determines the result."""
         return {
             "benchmark": self.benchmark,
-            "policy": _dataclass_spec(self.policy),
-            "scenario": _dataclass_spec(self.scenario),
+            "policy": self.policy.spec(),
+            "scenario": self.scenario.spec(),
             "validate": self.validate,
             "config_overrides": _jsonable(self.config_overrides or {}),
             "param_overrides": _jsonable(self.param_overrides or {}),
         }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "RunRequest":
+        """Rebuild a request from its canonical spec (checkpoint-manifest
+        resume, repro-bundle replay). ``keep_gpu`` is deliberately not
+        part of the spec — a resumed/replayed cell never holds a GPU."""
+        return cls(
+            benchmark=spec["benchmark"],
+            policy=PolicySpec.from_spec(spec["policy"]),
+            scenario=Scenario.from_spec(spec["scenario"]),
+            validate=spec.get("validate", True),
+            config_overrides=dict(spec["config_overrides"])
+            if spec.get("config_overrides") else None,
+            param_overrides=dict(spec["param_overrides"])
+            if spec.get("param_overrides") else None,
+        )
 
     def execute(self) -> RunResult:
         return run_benchmark(
@@ -209,11 +247,21 @@ class MatrixError(NamedTuple):
 
 
 def _failure_info(exc: BaseException, tb: str) -> Dict[str, Any]:
-    """Structured, picklable record of one cell failure."""
+    """Structured, picklable record of one cell failure.
+
+    ``classification`` drives the retry policy: a simulation that raised
+    is ``deterministic`` — same seed, same plan, same exception — so
+    re-running it would burn retries pointlessly; a wall-clock timeout is
+    ``environmental`` (host load, not the cell) and is worth retrying.
+    """
     info: Dict[str, Any] = {
         "type": type(exc).__name__,
         "message": str(exc),
         "traceback": tb,
+        "classification": (
+            "environmental" if isinstance(exc, CellTimeoutError)
+            else "deterministic"
+        ),
     }
     if isinstance(exc, DeadlockError):
         info["cycle"] = exc.cycle
@@ -257,13 +305,37 @@ class _CellAlarm:
         return False
 
 
+def _log_execution(request: RunRequest) -> None:
+    """Append one line to ``REPRO_EXEC_LOG`` (when set) marking a real
+    cell execution; resume tests assert checkpointed cells never appear
+    here twice. O_APPEND keeps concurrent worker writes whole."""
+    path = os.environ.get(EXEC_LOG_ENV)
+    if not path:
+        return
+    line = (f"{request.benchmark}\t{request.policy.name}\t"
+            f"{request.scenario.label}\t{os.getpid()}\n")
+    try:
+        with open(path, "a") as fh:
+            fh.write(line)
+    except OSError:
+        pass
+
+
 def _execute_cell(
     request: RunRequest, timeout: Optional[float] = None
 ) -> Tuple[Optional[RunResult], Optional[Dict[str, Any]]]:
-    """Pool worker: never raises — failures come back structured."""
+    """Pool worker: never raises — failures come back structured.
+
+    One exception to "never raises": a :class:`SweepInterrupted` from
+    the sweep's SIGINT/SIGTERM handler. With ``jobs=1`` the cell runs in
+    the main process, so the handler's raise lands *inside* this frame —
+    it must unwind the whole sweep, not become a cell failure."""
+    _log_execution(request)
     try:
         with _CellAlarm(timeout):
             return request.execute(), None
+    except SweepInterrupted:
+        raise
     except Exception as exc:
         return None, _failure_info(exc, traceback.format_exc())
 
@@ -276,12 +348,15 @@ class MatrixResult(Sequence):
     """
 
     def __init__(self, cells: List[Cell], jobs: int,
-                 cache_hits: int, cache_misses: int, deduped: int):
+                 cache_hits: int, cache_misses: int, deduped: int,
+                 resumed: int = 0):
         self.cells = cells
         self.jobs = jobs
         self.cache_hits = cache_hits
         self.cache_misses = cache_misses
         self.deduped = deduped
+        #: cells resolved from a checkpoint manifest instead of executed
+        self.resumed = resumed
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -330,11 +405,14 @@ class MatrixResult(Sequence):
 
     def summary(self) -> str:
         """One line for experiment-report notes (hit/miss counters)."""
-        return (
+        line = (
             f"matrix: {len(self.cells)} cells, {self.cache_hits} cache "
             f"hits, {self.cache_misses} misses, {self.deduped} deduped, "
             f"jobs={self.jobs}"
         )
+        if self.resumed:
+            line += f", {self.resumed} resumed from checkpoint"
+        return line
 
 
 def _crash_failure(attempts: int) -> Dict[str, Any]:
@@ -343,7 +421,69 @@ def _crash_failure(attempts: int) -> Dict[str, Any]:
         f"(after {attempts} attempt{'s' if attempts != 1 else ''})"
     )
     return {"type": "WorkerCrashError", "message": message,
-            "traceback": message}
+            "traceback": message, "classification": "environmental"}
+
+
+class SweepInterrupted(ReproError):
+    """A checkpointed sweep was stopped by SIGINT/SIGTERM. The manifest
+    was flushed and the pool's workers were killed first, so re-running
+    the sweep (or ``python -m repro matrix --resume``) continues from
+    the last completed cell."""
+
+    def __init__(self, signum: int):
+        name = signal.Signals(signum).name
+        super().__init__(
+            f"sweep interrupted by {name}; checkpoint flushed — re-run "
+            f"the sweep or `python -m repro matrix --resume` to continue"
+        )
+        self.signum = signum
+
+
+class _SweepSignals:
+    """SIGINT/SIGTERM handling for the duration of one sweep.
+
+    Without this, Ctrl-C (and any SIGTERM from a job scheduler) unwinds
+    through ``ProcessPoolExecutor.__exit__``, which blocks joining
+    workers mid-cell and can leak orphaned children. The installed
+    handler (main thread only) flushes the checkpoint manifest, kills
+    the pool's worker processes, and raises :class:`SweepInterrupted`
+    so callers unwind promptly with the sweep resumable.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, pool_holder: Dict[str, Any],
+                 checkpoint: Optional[SweepCheckpoint]):
+        self.pool_holder = pool_holder
+        self.checkpoint = checkpoint
+        self._previous: Dict[int, Any] = {}
+
+    def __enter__(self) -> "_SweepSignals":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+
+        def _fire(signum, _frame):
+            if self.checkpoint is not None:
+                self.checkpoint.flush(force=True)
+            pool = self.pool_holder.get("pool")
+            if pool is not None:
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.kill()
+            raise SweepInterrupted(signum)
+
+        for signum in self._SIGNALS:
+            self._previous[signum] = signal.signal(signum, _fire)
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        return False
+
+
+#: per-completion callback: (index, (result, failure))
+_OnOutcome = Callable[[int, Tuple[Optional[RunResult],
+                                  Optional[Dict[str, Any]]]], None]
 
 
 def _run_cells(
@@ -352,29 +492,50 @@ def _run_cells(
     cell_timeout: Optional[float],
     retries: int,
     retry_backoff: float,
+    on_outcome: Optional[_OnOutcome] = None,
+    pool_holder: Optional[Dict[str, Any]] = None,
 ) -> List[Tuple[Optional[RunResult], Optional[Dict[str, Any]]]]:
     """Execute cells, surviving hung cells and crashed workers.
 
-    A cell that raises (including :class:`CellTimeoutError` from its
-    in-worker alarm) is a deterministic failure and is recorded without
-    retry. A cell lost to pool breakage (worker killed, OOM, hard hang)
-    is infrastructure failure: everything already completed is kept and
-    the lost cells are resubmitted to a fresh pool, with exponential
-    backoff, up to ``retries`` extra rounds.
+    A cell whose simulation raises is a *deterministic* failure — the
+    same seed and plan would raise identically — and is recorded without
+    retry. *Environmental* failures (a cell lost to pool breakage, or a
+    :class:`CellTimeoutError` from the in-worker alarm) are resubmitted
+    to a fresh pool with exponential backoff, up to ``retries`` extra
+    rounds; a cell that keeps timing out reports its last timeout
+    failure rather than a crash.
+
+    ``on_outcome`` fires in the parent as each cell settles (checkpoint
+    writes, incremental cache puts, bundle emission); ``pool_holder``
+    exposes the live pool to the sweep's signal handler.
     """
     outcomes: List[Optional[Tuple[Optional[RunResult],
                                   Optional[Dict[str, Any]]]]]
     outcomes = [None] * len(requests)
+    pool_holder = pool_holder if pool_holder is not None else {}
+
+    def settle(index: int, outcome) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+
     if jobs <= 1 or len(requests) <= 1:
-        return [_execute_cell(req, cell_timeout) for req in requests]
+        for i, req in enumerate(requests):
+            settle(i, _execute_cell(req, cell_timeout))
+        return outcomes  # type: ignore[return-value]
 
     remaining = list(range(len(requests)))
+    #: most recent environmental failure per retried cell; reported if
+    #: retries run out (more informative than a generic crash record)
+    last_failure: Dict[int, Tuple[None, Dict[str, Any]]] = {}
     attempt = 1
     while remaining:
         lost: List[int] = []
+        retryable = attempt <= retries
         try:
             with ProcessPoolExecutor(
                     max_workers=min(jobs, len(remaining))) as pool:
+                pool_holder["pool"] = pool
                 futures = {
                     pool.submit(_execute_cell, requests[i], cell_timeout): i
                     for i in remaining
@@ -389,14 +550,23 @@ def _run_cells(
                     for fut in as_completed(futures, timeout=deadline):
                         index = futures[fut]
                         try:
-                            outcomes[index] = fut.result()
+                            outcome = fut.result()
                         except BrokenProcessPool:
                             lost.append(index)
+                            continue
                         except Exception as exc:  # future-level failure
-                            outcomes[index] = (
+                            outcome = (
                                 None,
                                 _failure_info(exc, traceback.format_exc()),
                             )
+                        failure = outcome[1]
+                        if (retryable and failure is not None
+                                and failure.get("classification")
+                                == "environmental"):
+                            last_failure[index] = outcome
+                            lost.append(index)
+                            continue
+                        settle(index, outcome)
                 except FuturesTimeoutError:
                     # Force the wedged workers down so pool shutdown (and
                     # interpreter exit) cannot hang on joining them.
@@ -409,17 +579,65 @@ def _run_cells(
             # The pool broke during submission; everything unfinished in
             # this round is lost (completed outcomes are preserved).
             lost = [i for i in remaining if outcomes[i] is None]
+        finally:
+            pool_holder.pop("pool", None)
 
         remaining = sorted(set(lost))
         if not remaining:
             break
         if attempt > retries:
             for index in remaining:
-                outcomes[index] = (None, _crash_failure(attempt))
+                settle(index,
+                       last_failure.get(index, (None, _crash_failure(attempt))))
             break
         time.sleep(retry_backoff * (2 ** (attempt - 1)))
         attempt += 1
     return outcomes  # type: ignore[return-value]
+
+
+def _resolve_checkpoint(
+    checkpoint: Union[None, bool, str, os.PathLike, SweepCheckpoint],
+    specs: List[Dict[str, Any]],
+) -> Optional[SweepCheckpoint]:
+    """Turn the ``checkpoint`` argument into a live SweepCheckpoint.
+
+    ``None`` consults ``REPRO_CHECKPOINT``; ``True`` uses the default
+    checkpoint directory; a path uses that directory; a ready
+    :class:`SweepCheckpoint` is adopted as-is; ``False`` disables."""
+    if isinstance(checkpoint, SweepCheckpoint):
+        return checkpoint
+    if checkpoint is None:
+        checkpoint = checkpoint_enabled()
+    if checkpoint is False:
+        return None
+    if not specs:
+        return None
+    root = None if checkpoint is True else checkpoint
+    return SweepCheckpoint.open(specs, root=root)
+
+
+def _resolve_bundle_dir(
+    bundle_dir: Union[None, str, os.PathLike],
+) -> Optional[Path]:
+    if bundle_dir is None:
+        bundle_dir = os.environ.get("REPRO_BUNDLE_DIR") or None
+    return Path(bundle_dir) if bundle_dir is not None else None
+
+
+def _emit_bundle(bundle_dir: Path, request: RunRequest,
+                 failure: Dict[str, Any]) -> Optional[Path]:
+    """Write a replayable repro bundle for one failed cell; never lets
+    bundle I/O break the sweep. Worker crashes carry no simulation
+    identity (the failure is the *host*, not the cell) and emit none."""
+    if failure.get("type") == "WorkerCrashError":
+        return None
+    from repro.recovery.bundle import make_bundle, write_bundle
+
+    try:
+        bundle = make_bundle(request, failure=failure)
+        return write_bundle(bundle, bundle_dir)
+    except Exception:
+        return None
 
 
 def run_matrix(
@@ -430,6 +648,8 @@ def run_matrix(
     cell_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     retry_backoff: float = 0.5,
+    checkpoint: Union[None, bool, str, os.PathLike, SweepCheckpoint] = None,
+    bundle_dir: Union[None, str, os.PathLike] = None,
 ) -> MatrixResult:
     """Execute every request, in parallel and through the cache.
 
@@ -438,13 +658,22 @@ def run_matrix(
     default sentinel (honours ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR``).
     ``cell_timeout`` (seconds, default ``REPRO_CELL_TIMEOUT``) bounds
     each cell's wall-clock time; ``retries`` (default
-    ``REPRO_CELL_RETRIES``) bounds resubmission after worker crashes.
+    ``REPRO_CELL_RETRIES``) bounds resubmission of environmentally
+    failed cells (crashed workers, timeouts).
+
+    ``checkpoint`` (default ``REPRO_CHECKPOINT``) makes the sweep
+    crash-resumable: completed cells land in an atomic manifest as they
+    finish, and an identical re-invocation resumes instead of
+    re-simulating (see :mod:`repro.recovery.manifest`). ``bundle_dir``
+    (default ``REPRO_BUNDLE_DIR``) emits a replayable repro bundle per
+    failing cell.
     """
     jobs = resolve_jobs(jobs)
     cell_timeout = resolve_cell_timeout(cell_timeout)
     retries = resolve_cell_retries(retries)
     if cache == DEFAULT_CACHE:
         cache = default_cache()
+    bundle_path = _resolve_bundle_dir(bundle_dir)
     if jobs > 1 and any(req.keep_gpu for req in requests):
         raise ConfigError(
             "keep_gpu=True cells cannot cross the process pool (a GPU "
@@ -453,45 +682,98 @@ def run_matrix(
         )
 
     cells: List[Optional[Cell]] = [None] * len(requests)
-    cache_hits = cache_misses = deduped = 0
+    cache_hits = cache_misses = deduped = resumed = 0
 
-    # Resolve cache hits and collapse duplicate specs to one execution.
-    # keep_gpu cells bypass both (the GPU object is neither serializable
-    # nor safely shared).
-    pending: List[Tuple[Optional[str], RunRequest, List[int]]] = []
+    # The checkpoint manifest covers every unique non-keep_gpu spec in
+    # request order — its sweep key is what an identical re-invocation
+    # (auto-resume) or `python -m repro matrix --resume` finds again.
+    specs: List[Optional[Dict[str, Any]]] = [
+        None if req.keep_gpu else req.spec() for req in requests
+    ]
+    seen_ckpt_keys = set()
+    ckpt_specs = []
+    for spec in specs:
+        if spec is None:
+            continue
+        key = cell_key(spec)
+        if key not in seen_ckpt_keys:
+            seen_ckpt_keys.add(key)
+            ckpt_specs.append(spec)
+    ckpt = _resolve_checkpoint(checkpoint, ckpt_specs)
+
+    # Resolve checkpointed and cached results, and collapse duplicate
+    # specs to one execution. keep_gpu cells bypass all three (the GPU
+    # object is neither serializable nor safely shared).
+    pending: List[Tuple[Optional[str], Optional[str],
+                        RunRequest, List[int]]] = []
     by_spec: Dict[str, int] = {}
     for index, req in enumerate(requests):
-        if req.keep_gpu:
-            pending.append((None, req, [index]))
+        spec = specs[index]
+        if spec is None:
+            pending.append((None, None, req, [index]))
             continue
-        spec = req.spec()
         spec_key = repr(sorted(spec.items()))
         if dedupe and spec_key in by_spec:
-            pending[by_spec[spec_key]][2].append(index)
+            pending[by_spec[spec_key]][3].append(index)
             deduped += 1
             continue
+        ckpt_key = cell_key(spec) if ckpt is not None else None
+        if ckpt is not None:
+            hit = ckpt.get(ckpt_key)
+            if hit is not None:
+                resumed += 1
+                cells[index] = Cell(req, result=hit, from_cache=True)
+                continue
         if cache is not None:
             key = cache.key_for(spec)
             hit = cache.get(key)
             if hit is not None:
                 cache_hits += 1
                 cells[index] = Cell(req, result=hit, from_cache=True)
+                if ckpt is not None:
+                    # mirror into the manifest so a later resume works
+                    # even with the cache disabled or cleared
+                    ckpt.record(ckpt_key, hit)
                 continue
             cache_misses += 1
         else:
             key = None
         if dedupe:
             by_spec[spec_key] = len(pending)
-        pending.append((key, req, [index]))
+        pending.append((key, ckpt_key, req, [index]))
 
-    # Execute the surviving unique cells.
-    unique_requests = [req for (_key, req, _idx) in pending]
-    outcomes = _run_cells(unique_requests, jobs, cell_timeout,
-                          retries, retry_backoff)
+    # Execute the surviving unique cells; each settles into the cache,
+    # the checkpoint manifest, and (on failure) a repro bundle as it
+    # completes, so progress survives a crash mid-sweep.
+    unique_requests = [req for (_k, _ck, req, _idx) in pending]
+    if ckpt is not None:
+        ckpt.mark_in_flight([ck for (_k, ck, _req, _idx) in pending
+                             if ck is not None])
 
-    for (key, req, indices), (result, failure) in zip(pending, outcomes):
-        if result is not None and key is not None and cache is not None:
-            cache.put(key, result)
+    def on_outcome(index: int, outcome) -> None:
+        key, ckpt_key, req, _indices = pending[index]
+        result, failure = outcome
+        if result is not None:
+            if key is not None and cache is not None:
+                cache.put(key, result)
+            if ckpt is not None and ckpt_key is not None:
+                ckpt.record(ckpt_key, result)
+        elif failure is not None and bundle_path is not None:
+            _emit_bundle(bundle_path, req, failure)
+
+    pool_holder: Dict[str, Any] = {}
+    try:
+        with _SweepSignals(pool_holder, ckpt):
+            outcomes = _run_cells(unique_requests, jobs, cell_timeout,
+                                  retries, retry_backoff,
+                                  on_outcome=on_outcome,
+                                  pool_holder=pool_holder)
+    except BaseException:
+        if ckpt is not None:
+            ckpt.flush(force=True)
+        raise
+
+    for (key, _ck, req, indices), (result, failure) in zip(pending, outcomes):
         for position, index in enumerate(indices):
             if result is not None and position > 0:
                 # duplicates get their own stats dict so one consumer
@@ -501,10 +783,14 @@ def run_matrix(
             else:
                 cells[index] = Cell(req, result=result, failure=failure)
 
+    if ckpt is not None:
+        ckpt.complete()
+
     return MatrixResult(
         [c for c in cells if c is not None],
         jobs=jobs,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         deduped=deduped,
+        resumed=resumed,
     )

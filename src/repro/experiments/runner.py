@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
 from repro.core.policies import PolicySpec
@@ -50,6 +50,24 @@ class Scenario:
 
     def scaled(self, **kwargs) -> "Scenario":
         return replace(self, **kwargs)
+
+    # -- canonical serialization (cache keys / repro bundles) ----------
+    def spec(self) -> Dict[str, Any]:
+        """JSON-serializable dict that fully determines this scenario."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)
+               if f.name != "fault_plan"}
+        out["fault_plan"] = (
+            self.fault_plan.spec() if self.fault_plan is not None else None)
+        return out
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`spec` (replay bundles, resumed sweeps)."""
+        kwargs = dict(spec)
+        plan = kwargs.get("fault_plan")
+        kwargs["fault_plan"] = (
+            FaultPlan.from_spec(plan) if plan is not None else None)
+        return cls(**kwargs)
 
 
 #: The paper's §VI non-oversubscribed experiment: the grid exactly fills

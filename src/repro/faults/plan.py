@@ -180,6 +180,32 @@ class FaultPlan:
         parts = [key for key in _PART_TYPES if getattr(self, key) is not None]
         return f"{self.name}[{'+'.join(parts) if parts else 'no-op'}] seed={self.seed}"
 
+    # -- shrinker support (repro.recovery.shrink) ----------------------
+    def with_part(self, key: str, part: Optional[Any]) -> "FaultPlan":
+        """Replace one fault family (``storm``/``notify``/``mem``/
+        ``predictor``) with a reduced variant or drop it (None)."""
+        if key not in _PART_TYPES:
+            raise ConfigError(
+                f"unknown fault-plan part {key!r}; known: {list(_PART_TYPES)}")
+        return replace(self, **{key: part})
+
+    def weight(self) -> int:
+        """Monotone size of the plan's event schedule: how many distinct
+        fault events it can inject. The shrinker only accepts steps that
+        strictly reduce the combined scenario+plan size, and this is the
+        plan's contribution."""
+        total = 0
+        if self.storm is not None:
+            total += self.storm.storms * self.storm.severity
+        if self.notify is not None:
+            total += int(self.notify.drop_prob > 0)
+            total += int(self.notify.delay_prob > 0)
+        if self.mem is not None:
+            total += self.mem.spikes
+        if self.predictor is not None:
+            total += self.predictor.insertions
+        return total
+
 
 # ---------------------------------------------------------------------------
 # named plans (the campaign's standard adversaries)

@@ -22,7 +22,7 @@ progress counter by design).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.gpu import GPU
@@ -81,6 +81,19 @@ def classify_stagnation(progress_stalled: bool) -> str:
     """The watchdog verdict: no progress events at all is a deadlock;
     progress events without condition advancement is a livelock."""
     return "deadlock" if progress_stalled else "livelock"
+
+
+def diagnosis_signature(
+    diagnosis: Optional[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The stable identity of a watchdog diagnosis for replay/shrink
+    comparison: the verdict kind only. Cycle counts, WG ids and stall
+    reports all legitimately change as a failing scenario is minimized,
+    but a deadlock must still reproduce as a deadlock (and a livelock as
+    a livelock) for the repro to be the *same* failure."""
+    if not diagnosis:
+        return None
+    return {"kind": diagnosis.get("kind")}
 
 
 def summarize_stalls(report: List[Dict[str, Any]]) -> str:

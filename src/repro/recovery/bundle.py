@@ -1,0 +1,299 @@
+"""Repro bundles: self-contained, replayable records of failing cells.
+
+A bundle is one JSON document carrying everything needed to re-run a
+failing matrix cell on another machine with no access to the sweep that
+produced it: the cell's canonical :meth:`RunRequest.spec` (benchmark,
+policy, scenario, fault plan, seed, overrides), the *expected* failure
+(what must happen again for the replay to count as a reproduction), the
+original structured failure record, and provenance (code fingerprint,
+python, timestamp).
+
+Bundles are emitted automatically by checkpointed sweeps
+(``bundle_dir`` / ``REPRO_BUNDLE_DIR`` on
+:func:`~repro.experiments.matrix.run_matrix`) and by the fault-injection
+campaign, and consumed by ``python -m repro replay BUNDLE`` and the
+:mod:`repro.recovery.shrink` minimizer.
+
+Expected-failure modes (``bundle["expected"]["mode"]``):
+
+``diagnosis``
+    the run must end in a watchdog diagnosis with the same stable
+    :func:`~repro.gpu.diagnostics.diagnosis_signature` (deadlock vs
+    livelock kind — cycle counts and WG ids legitimately drift when the
+    scenario is shrunk)
+``exception``
+    the simulation must raise the same exception type
+``timeout``
+    the cell must exceed its recorded wall-clock budget again
+``race``
+    replayed with the dynamic sync sanitizer attached, the run must
+    report at least one data race or lock error
+
+The schema is versioned (:data:`BUNDLE_VERSION`); loaders reject
+bundles from other versions rather than mis-replaying them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError, ReproError
+from repro.experiments.cache import code_fingerprint, result_to_payload
+from repro.gpu.diagnostics import diagnosis_signature
+
+#: bump when the bundle layout changes; replay refuses other versions
+BUNDLE_VERSION = 1
+
+#: the document's ``kind`` marker (distinguishes bundles from manifests
+#: and cache entries when pointed at the wrong file)
+BUNDLE_KIND = "awg-repro-bundle"
+
+#: top-level keys every valid bundle carries, schema-stability-tested
+BUNDLE_KEYS = ("version", "kind", "request", "expected", "failure",
+               "provenance")
+
+
+def derive_expected(
+    failure: Optional[Dict[str, Any]] = None,
+    result: Any = None,
+) -> Dict[str, Any]:
+    """The expected-failure clause for a bundle, from either a matrix
+    failure record or a completed-but-wrong :class:`RunResult` (e.g. an
+    IFP-contract violation in the faults campaign)."""
+    if failure is not None:
+        if failure.get("diagnosis") is not None:
+            return {
+                "mode": "diagnosis",
+                "signature": diagnosis_signature(failure["diagnosis"]),
+            }
+        if failure.get("type") == "CellTimeoutError":
+            return {"mode": "timeout",
+                    "seconds": failure.get("timeout_seconds", 60.0)}
+        return {"mode": "exception", "type": failure.get("type", "Exception")}
+    if result is not None and getattr(result, "deadlocked", False):
+        signature = diagnosis_signature(result.diagnosis)
+        return {
+            "mode": "diagnosis",
+            "signature": signature or {"kind": "deadlock"},
+        }
+    raise ConfigError(
+        "cannot derive an expected failure: need a failure record or a "
+        "deadlocked result (pass expected=... explicitly for race bundles)")
+
+
+def make_bundle(
+    request: Any,
+    failure: Optional[Dict[str, Any]] = None,
+    result: Any = None,
+    expected: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a bundle document for one failing cell.
+
+    ``request`` is a :class:`~repro.experiments.matrix.RunRequest` (or
+    anything with a compatible ``spec()``); ``expected`` overrides the
+    derived expected-failure clause (required for ``race`` bundles,
+    whose evidence lives in the sanitizer, not the result)."""
+    if expected is None:
+        expected = derive_expected(failure=failure, result=result)
+    trimmed_failure = None
+    if failure is not None:
+        trimmed_failure = {k: failure[k] for k in
+                           ("type", "message", "classification", "cycle",
+                            "diagnosis") if k in failure}
+    elif result is not None:
+        trimmed_failure = {
+            "type": "ContractViolation",
+            "message": getattr(result, "reason", ""),
+            "classification": "deterministic",
+            "diagnosis": getattr(result, "diagnosis", None),
+        }
+    return {
+        "version": BUNDLE_VERSION,
+        "kind": BUNDLE_KIND,
+        "request": request.spec(),
+        "expected": expected,
+        "failure": trimmed_failure,
+        "provenance": {
+            "fingerprint": code_fingerprint(),
+            "python": sys.version.split()[0],
+            "created_at": time.time(),
+        },
+    }
+
+
+def validate_bundle(bundle: Any) -> Dict[str, Any]:
+    """Check a loaded document is a replayable bundle; returns it."""
+    if not isinstance(bundle, dict):
+        raise ConfigError("bundle must be a JSON object")
+    if bundle.get("kind") != BUNDLE_KIND:
+        raise ConfigError(
+            f"not a repro bundle (kind={bundle.get('kind')!r}, "
+            f"expected {BUNDLE_KIND!r})")
+    if bundle.get("version") != BUNDLE_VERSION:
+        raise ConfigError(
+            f"bundle version {bundle.get('version')!r} is not supported "
+            f"(this build reads version {BUNDLE_VERSION})")
+    missing = [k for k in BUNDLE_KEYS if k not in bundle]
+    if missing:
+        raise ConfigError(f"bundle is missing keys: {missing}")
+    request = bundle["request"]
+    if not isinstance(request, dict) or not all(
+            k in request for k in ("benchmark", "policy", "scenario")):
+        raise ConfigError(
+            "bundle request must carry benchmark/policy/scenario specs")
+    expected = bundle["expected"]
+    if not isinstance(expected, dict) or "mode" not in expected:
+        raise ConfigError("bundle expected clause must carry a mode")
+    if expected["mode"] not in ("diagnosis", "exception", "timeout", "race"):
+        raise ConfigError(
+            f"unknown expected-failure mode {expected['mode']!r}")
+    return bundle
+
+
+def bundle_name(bundle: Dict[str, Any]) -> str:
+    """Deterministic filename: cell identity + expected mode + spec hash
+    (the hash keeps shrunken variants of the same cell distinct)."""
+    request = bundle["request"]
+    canonical = json.dumps(request, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:8]
+    policy = request.get("policy", {}).get("name", "policy")
+    scenario = request.get("scenario", {}).get("label", "scenario")
+    return (f"{request['benchmark']}-{policy}-{scenario}-"
+            f"{bundle['expected']['mode']}-{digest}.json")
+
+
+def write_bundle(bundle: Dict[str, Any],
+                 out_dir: os.PathLike) -> Path:
+    """Atomically persist one bundle; returns its path."""
+    validate_bundle(bundle)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / bundle_name(bundle)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(bundle, indent=2, sort_keys=True,
+                                default=str))
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def load_bundle(path: os.PathLike) -> Dict[str, Any]:
+    try:
+        document = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ConfigError(f"no bundle at {path}")
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"unreadable bundle {path}: {exc}")
+    return validate_bundle(document)
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+def _observe(request: Any, expected: Dict[str, Any],
+             trace: bool = False) -> Dict[str, Any]:
+    """Execute the cell in-process and classify what happened into the
+    same mode vocabulary as the expected clause."""
+    # lazy: matrix imports repro.recovery.manifest, so this module must
+    # not import matrix until call time
+    from repro.experiments.matrix import _CellAlarm
+
+    mode = expected["mode"]
+    overrides = dict(request.config_overrides or {})
+    if mode == "race":
+        overrides["sanitize"] = True
+        request = replace(request, config_overrides=overrides, keep_gpu=True)
+    if trace:
+        from repro.trace.config import TraceConfig
+
+        overrides["trace"] = TraceConfig.parse("all")
+        request = replace(request, config_overrides=overrides)
+    budget = expected.get("seconds") if mode == "timeout" else None
+
+    try:
+        with _CellAlarm(budget):
+            result = request.execute()
+    except Exception as exc:
+        from repro.experiments.matrix import CellTimeoutError
+
+        if isinstance(exc, CellTimeoutError):
+            return {"mode": "timeout", "detail": str(exc)}
+        observed: Dict[str, Any] = {
+            "mode": "exception", "type": type(exc).__name__,
+            "detail": str(exc),
+        }
+        diagnosis = getattr(exc, "to_dict", None)
+        if callable(diagnosis):
+            observed["mode"] = "diagnosis"
+            observed["signature"] = diagnosis_signature(diagnosis())
+        return observed
+
+    if mode == "race" and result.gpu is not None:
+        report = result.gpu.sanitizer.report()
+        if report["races"] or report["lock_errors"]:
+            return {
+                "mode": "race",
+                "race_count": report["race_count"],
+                "lock_errors": len(report["lock_errors"]),
+                "result": result_to_payload(replace(result, gpu=None)),
+            }
+    if result.deadlocked:
+        return {
+            "mode": "diagnosis",
+            "signature": (diagnosis_signature(result.diagnosis)
+                          or {"kind": "deadlock"}),
+            "result": result_to_payload(replace(result, gpu=None)),
+        }
+    return {"mode": "ok",
+            "result": result_to_payload(replace(result, gpu=None))}
+
+
+def _matches(expected: Dict[str, Any], observed: Dict[str, Any]) -> bool:
+    if expected["mode"] != observed["mode"]:
+        return False
+    if expected["mode"] == "diagnosis":
+        return expected.get("signature") == observed.get("signature")
+    if expected["mode"] == "exception":
+        return expected.get("type") == observed.get("type")
+    return True  # timeout / race: reaching the mode is the reproduction
+
+
+def replay_bundle(bundle: Dict[str, Any],
+                  trace: bool = False) -> Dict[str, Any]:
+    """Re-run a bundle's cell and check the recorded failure recurs.
+
+    Returns ``{"reproduced", "expected", "observed", "request"}``;
+    ``observed`` carries the replayed result payload (and, with
+    ``trace=True``, its exported Chrome trace inside that payload) for
+    post-mortem inspection."""
+    validate_bundle(bundle)
+    from repro.experiments.matrix import RunRequest
+
+    request = RunRequest.from_spec(bundle["request"])
+    expected = bundle["expected"]
+    observed = _observe(request, expected, trace=trace)
+    return {
+        "reproduced": _matches(expected, observed),
+        "expected": expected,
+        "observed": observed,
+        "request": bundle["request"],
+    }
+
+
+class ReplayMismatch(ReproError):
+    """A replayed bundle did not reproduce its recorded failure."""

@@ -1,0 +1,244 @@
+"""Delta-debugging minimizer for failing repro bundles.
+
+``python -m repro shrink BUNDLE`` takes a bundle whose failure replays
+(:func:`~repro.recovery.bundle.replay_bundle`) and greedily shrinks the
+*scenario* (WG count, group size, residency, iterations, episodes) and
+the *fault plan* (dropping whole fault families, then reducing each
+family's event counts) while re-replaying after every candidate step and
+keeping only steps that preserve the failure.
+
+The search is deterministic: candidates are enumerated in a fixed order,
+the simulator is seeded, and every accepted step strictly reduces the
+combined size metric (scenario knob sum + :meth:`FaultPlan.weight`), so
+two invocations on the same bundle produce the same minimal bundle and
+the same shrink log. Termination is guaranteed by monotonicity — the
+size metric is a non-negative integer that decreases on every accepted
+step — plus a trial budget for pathological predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
+
+#: hard ceiling on replay attempts (the greedy loop normally converges
+#: in far fewer — each accepted step restarts a ~dozen-candidate pass)
+DEFAULT_MAX_TRIALS = 200
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one :func:`shrink_bundle` run."""
+
+    #: the input bundle, untouched
+    original: Dict[str, Any]
+    #: the minimal bundle still reproducing the failure (== original when
+    #: no shrink step was accepted)
+    minimal: Dict[str, Any]
+    #: every candidate tried: {step, dimension, from, to, accepted, size}
+    log: List[Dict[str, Any]] = field(default_factory=list)
+    #: replay invocations spent
+    trials: int = 0
+    initial_size: int = 0
+    final_size: int = 0
+
+    @property
+    def shrunk(self) -> bool:
+        return self.final_size < self.initial_size
+
+    def render(self) -> str:
+        lines = [
+            f"shrink: size {self.initial_size} -> {self.final_size} "
+            f"in {self.trials} replays "
+            f"({sum(1 for e in self.log if e['accepted'])} accepted steps)"
+        ]
+        for entry in self.log:
+            mark = "+" if entry["accepted"] else "-"
+            lines.append(
+                f"  {mark} {entry['dimension']}: {entry['from']} -> "
+                f"{entry['to']} (size {entry['size']})")
+        return "\n".join(lines)
+
+
+def scenario_size(scenario: Any) -> int:
+    """Monotone scenario-size metric (knobs the shrinker may lower)."""
+    return (scenario.total_wgs + scenario.wgs_per_group
+            + scenario.max_wgs_per_cu + scenario.iterations
+            + scenario.episodes)
+
+
+def bundle_size(request: Any) -> int:
+    """Combined size of a request: scenario knobs + fault-plan weight."""
+    total = scenario_size(request.scenario)
+    plan = request.scenario.fault_plan
+    if plan is not None:
+        total += plan.weight()
+    return total
+
+
+def _plan_candidates(
+    plan: FaultPlan,
+) -> Iterator[Tuple[str, str, str, FaultPlan]]:
+    """(dimension, from, to, candidate-plan) reductions, fixed order:
+    drop whole families first (biggest steps), then thin each family."""
+    for key in ("storm", "notify", "mem", "predictor"):
+        part = getattr(plan, key)
+        if part is not None:
+            yield (f"plan.{key}", "present", "dropped",
+                   plan.with_part(key, None))
+    if plan.storm is not None:
+        storm = plan.storm
+        if storm.storms > 1:
+            yield ("plan.storm.storms", str(storm.storms),
+                   str(storm.storms // 2),
+                   plan.with_part("storm",
+                                  replace(storm, storms=storm.storms // 2)))
+        if storm.severity > 1:
+            yield ("plan.storm.severity", str(storm.severity),
+                   str(storm.severity // 2),
+                   plan.with_part(
+                       "storm", replace(storm, severity=storm.severity // 2)))
+    if plan.notify is not None:
+        notify = plan.notify
+        if notify.drop_prob > 0 and notify.delay_prob > 0:
+            yield ("plan.notify.delay_prob", str(notify.delay_prob), "0",
+                   plan.with_part("notify", replace(notify, delay_prob=0.0)))
+            yield ("plan.notify.drop_prob", str(notify.drop_prob), "0",
+                   plan.with_part("notify", replace(notify, drop_prob=0.0)))
+    if plan.mem is not None and plan.mem.spikes > 1:
+        yield ("plan.mem.spikes", str(plan.mem.spikes),
+               str(plan.mem.spikes // 2),
+               plan.with_part("mem",
+                              replace(plan.mem, spikes=plan.mem.spikes // 2)))
+    if plan.predictor is not None and plan.predictor.insertions > 1:
+        yield ("plan.predictor.insertions", str(plan.predictor.insertions),
+               str(plan.predictor.insertions // 2),
+               plan.with_part(
+                   "predictor",
+                   replace(plan.predictor,
+                           insertions=plan.predictor.insertions // 2)))
+
+
+def _scenario_candidates(scenario: Any) -> Iterator[Tuple[str, str, str, Any]]:
+    """Halving reductions of the scenario's scale knobs, fixed order.
+    ``total_wgs`` stays a multiple of ``wgs_per_group`` so work-group
+    grids remain well-formed."""
+    if (scenario.total_wgs > scenario.wgs_per_group
+            and (scenario.total_wgs // 2) % scenario.wgs_per_group == 0):
+        yield ("scenario.total_wgs", str(scenario.total_wgs),
+               str(scenario.total_wgs // 2),
+               replace(scenario, total_wgs=scenario.total_wgs // 2))
+    if (scenario.wgs_per_group > 1
+            and scenario.total_wgs % (scenario.wgs_per_group // 2) == 0):
+        yield ("scenario.wgs_per_group", str(scenario.wgs_per_group),
+               str(scenario.wgs_per_group // 2),
+               replace(scenario, wgs_per_group=scenario.wgs_per_group // 2))
+    if scenario.max_wgs_per_cu > 1:
+        yield ("scenario.max_wgs_per_cu", str(scenario.max_wgs_per_cu),
+               str(scenario.max_wgs_per_cu // 2),
+               replace(scenario, max_wgs_per_cu=scenario.max_wgs_per_cu // 2))
+    if scenario.iterations > 1:
+        yield ("scenario.iterations", str(scenario.iterations),
+               str(scenario.iterations // 2),
+               replace(scenario, iterations=scenario.iterations // 2))
+    if scenario.episodes > 1:
+        yield ("scenario.episodes", str(scenario.episodes),
+               str(scenario.episodes // 2),
+               replace(scenario, episodes=scenario.episodes // 2))
+
+
+def _candidates(request: Any) -> Iterator[Tuple[str, str, str, Any]]:
+    """Every one-step reduction of a request, deterministic order:
+    fault-plan shrinks first (they usually cut replay time the most),
+    then scenario scale."""
+    scenario = request.scenario
+    if scenario.fault_plan is not None:
+        for dimension, src, dst, plan in _plan_candidates(scenario.fault_plan):
+            yield (dimension, src, dst,
+                   replace(request,
+                           scenario=replace(scenario, fault_plan=plan)))
+    for dimension, src, dst, shrunk in _scenario_candidates(scenario):
+        yield (dimension, src, dst, replace(request, scenario=shrunk))
+
+
+def shrink_bundle(
+    bundle: Dict[str, Any],
+    max_trials: int = DEFAULT_MAX_TRIALS,
+    replay: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+) -> ShrinkResult:
+    """Minimize a failing bundle while preserving its failure.
+
+    The input bundle must reproduce (its replay must match its expected
+    clause) — a bundle that does not reproduce as-is cannot be shrunk
+    meaningfully and raises :class:`ReproError`. ``replay`` overrides
+    the replay function (unit tests substitute a synthetic predicate).
+    """
+    # lazy: matrix (via bundle) must stay import-cycle-free with recovery
+    from repro.experiments.matrix import RunRequest
+    from repro.recovery.bundle import make_bundle, replay_bundle, \
+        validate_bundle
+
+    validate_bundle(bundle)
+    replay = replay or replay_bundle
+    expected = bundle["expected"]
+
+    def bundle_for(request: Any) -> Dict[str, Any]:
+        return make_bundle(request, failure=bundle.get("failure"),
+                           expected=expected)
+
+    trials = 0
+
+    def reproduces(request: Any) -> bool:
+        nonlocal trials
+        trials += 1
+        try:
+            return bool(replay(bundle_for(request))["reproduced"])
+        except ReproError:
+            return False  # candidate spec is not even constructible
+
+    current = RunRequest.from_spec(bundle["request"])
+    initial_size = bundle_size(current)
+    if not reproduces(current):
+        raise ReproError(
+            "bundle does not reproduce its recorded failure as-is; "
+            "nothing to shrink (re-record it or check the code "
+            "fingerprint in its provenance)")
+
+    log: List[Dict[str, Any]] = []
+    step = 0
+    improved = True
+    while improved and trials < max_trials:
+        improved = False
+        size = bundle_size(current)
+        for dimension, src, dst, candidate in _candidates(current):
+            if trials >= max_trials:
+                break
+            candidate_size = bundle_size(candidate)
+            if candidate_size >= size:
+                continue  # not a strict reduction; skip without a replay
+            accepted = reproduces(candidate)
+            step += 1
+            log.append({
+                "step": step,
+                "dimension": dimension,
+                "from": src,
+                "to": dst,
+                "accepted": accepted,
+                "size": candidate_size,
+            })
+            if accepted:
+                current = candidate
+                improved = True
+                break  # restart candidate enumeration from the new point
+
+    return ShrinkResult(
+        original=bundle,
+        minimal=bundle_for(current),
+        log=log,
+        trials=trials,
+        initial_size=initial_size,
+        final_size=bundle_size(current),
+    )

@@ -1,0 +1,178 @@
+"""Recovery smoke: crash a sweep, resume it, replay and shrink a bundle.
+
+Three drills, each gating CI on a recovery guarantee:
+
+1. A checkpointed sweep is SIGKILLed mid-flight (the ``_KILL`` stress
+   drill) in a child process; resuming in this process must execute
+   only the unfinished cells (proved with the execution log) and finish
+   clean.
+2. A ``_RACY`` drill repro bundle written to disk must replay and
+   reproduce its recorded sanitizer diagnosis.
+3. Shrinking that bundle must yield a strictly smaller scenario that
+   still reproduces.
+
+Exits non-zero on the first failed drill so CI can gate on it.
+
+Usage::
+
+    python -m repro.recovery.smoke            # throwaway work dir
+    python -m repro.recovery.smoke --work-dir .recovery-smoke
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.policies import named_policy
+from repro.experiments.matrix import EXEC_LOG_ENV, RunRequest, run_matrix
+from repro.experiments.runner import QUICK_SCALE
+from repro.recovery.bundle import (
+    load_bundle, make_bundle, replay_bundle, write_bundle,
+)
+from repro.recovery.manifest import list_manifests
+from repro.recovery.shrink import shrink_bundle
+from repro.workloads.registry import STRESS_KILL_ENV
+
+#: _KILL placed second: one cell checkpoints before the crash, one
+#: never starts
+SMOKE_BENCHES = ["SPM_G", "_KILL", "FAM_G"]
+
+#: the child rebuilds this exact sweep so the checkpoint key matches
+_CHILD_SOURCE = """
+import sys
+from repro.core.policies import named_policy
+from repro.experiments.matrix import RunRequest, run_matrix
+from repro.experiments.runner import QUICK_SCALE
+
+requests = [
+    RunRequest(bench, named_policy("awg"), QUICK_SCALE, validate=False)
+    for bench in {benches!r}
+]
+run_matrix(requests, jobs=1, cache=None, checkpoint=sys.argv[1])
+"""
+
+
+def _smoke_requests() -> List[RunRequest]:
+    return [RunRequest(bench, named_policy("awg"), QUICK_SCALE,
+                       validate=False)
+            for bench in SMOKE_BENCHES]
+
+
+def _exec_counts(log_path: Path) -> dict:
+    counts: dict = {}
+    if log_path.exists():
+        for line in log_path.read_text().splitlines():
+            bench = line.split("\t")[0]
+            counts[bench] = counts.get(bench, 0) + 1
+    return counts
+
+
+def _drill_kill_and_resume(work: Path) -> int:
+    ckpt_dir = work / "ckpt"
+    exec_log = work / "exec.log"
+    sentinel = work / "kill-me"
+    sentinel.write_text("")
+
+    env = dict(os.environ, REPRO_NO_CACHE="1")
+    env[STRESS_KILL_ENV] = str(sentinel)
+    env[EXEC_LOG_ENV] = str(exec_log)
+    env.pop("REPRO_CHECKPOINT", None)
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD_SOURCE.format(benches=SMOKE_BENCHES),
+         str(ckpt_dir)],
+        env=env, capture_output=True, timeout=300)
+    if child.returncode != -signal.SIGKILL:
+        print(f"FAIL: _KILL drill exited {child.returncode}, expected "
+              f"SIGKILL\n{child.stderr.decode()[-500:]}", file=sys.stderr)
+        return 1
+    manifests = list_manifests(ckpt_dir)
+    if len(manifests) != 1 or manifests[0]["completed"] == 0:
+        print(f"FAIL: crashed sweep left no resumable manifest "
+              f"({manifests})", file=sys.stderr)
+        return 1
+    completed = manifests[0]["completed"]
+    print(f"crash: child SIGKILLed, manifest holds {completed}/"
+          f"{manifests[0]['total']} cells")
+
+    os.environ[EXEC_LOG_ENV] = str(exec_log)
+    try:
+        result = run_matrix(_smoke_requests(), jobs=1, cache=None,
+                            checkpoint=ckpt_dir)
+    finally:
+        del os.environ[EXEC_LOG_ENV]
+    counts = _exec_counts(exec_log)
+    if result.errors or result.resumed != completed:
+        print(f"FAIL: resume did not adopt the checkpoint "
+              f"({result.summary()})", file=sys.stderr)
+        return 1
+    if counts.get("SPM_G") != 1 or list_manifests(ckpt_dir):
+        print(f"FAIL: resume re-executed completed cells or left a "
+              f"manifest behind (exec counts {counts})", file=sys.stderr)
+        return 1
+    print(f"resume: {result.summary()}; exec counts {counts}")
+    return 0
+
+
+def _drill_replay_and_shrink(work: Path) -> int:
+    bundle_path = write_bundle(
+        make_bundle(RunRequest("_RACY", named_policy("awg"), QUICK_SCALE,
+                               validate=False),
+                    expected={"mode": "race"}),
+        work / "bundles")
+    bundle = load_bundle(bundle_path)
+    report = replay_bundle(bundle)
+    if not report["reproduced"]:
+        print(f"FAIL: drill bundle did not reproduce "
+              f"({report['observed']})", file=sys.stderr)
+        return 1
+    print(f"replay: {bundle_path.name} reproduced "
+          f"({report['observed']['race_count']} races)")
+
+    shrunk = shrink_bundle(bundle)
+    if not shrunk.shrunk:
+        print("FAIL: shrinker made no progress on the drill bundle",
+              file=sys.stderr)
+        return 1
+    if not replay_bundle(shrunk.minimal)["reproduced"]:
+        print("FAIL: shrunk bundle no longer reproduces", file=sys.stderr)
+        return 1
+    print(f"shrink: size {shrunk.initial_size} -> {shrunk.final_size} "
+          f"in {shrunk.trials} replays; minimal still reproduces")
+    return 0
+
+
+def run_smoke(work_dir: str) -> int:
+    work = Path(work_dir)
+    work.mkdir(parents=True, exist_ok=True)
+    for drill in (_drill_kill_and_resume, _drill_replay_and_shrink):
+        status = drill(work)
+        if status:
+            return status
+    print("OK: crash-resume, bundle replay, and shrink all hold")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recovery.smoke",
+        description="kill-and-resume a tiny sweep, then replay and "
+                    "shrink a drill repro bundle")
+    parser.add_argument("--work-dir", default=None,
+                        help="directory for checkpoints/bundles "
+                             "(default: a throwaway temp dir)")
+    opts = parser.parse_args(argv)
+    if opts.work_dir:
+        return run_smoke(opts.work_dir)
+    with tempfile.TemporaryDirectory(prefix="awg-recovery-") as tmp:
+        return run_smoke(tmp)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -216,3 +216,108 @@ def test_env_opt_outs(monkeypatch, tmp_path):
     monkeypatch.delenv("REPRO_NO_CACHE")
     assert cache_enabled()
     assert default_cache().root == tmp_path / "c"
+
+
+# ---------------------------------------------------------------------------
+# integrity verification (`python -m repro cache --verify`)
+# ---------------------------------------------------------------------------
+
+def _simple_result(cycles=1):
+    return RunResult(
+        benchmark="SPM_G", policy="AWG", scenario="quick",
+        cycles=cycles, completed=True, deadlocked=False, reason="completed",
+        atomics=0, waiting_atomics=0, context_switches=0,
+        wg_running_cycles=0, wg_waiting_cycles=0,
+    )
+
+
+def test_verify_clean_cache_is_clean(cache):
+    cache.put("1" * 64, _simple_result())
+    cache.put("2" * 64, _simple_result(cycles=2))
+    report = cache.verify()
+    assert report.clean
+    assert report.checked == 2 and report.ok == 2
+    assert "2 intact" in report.render()
+
+
+def test_verify_quarantines_truncated_entry(cache):
+    """A truncated (torn-write) entry fails the digest check, is moved
+    into quarantine/, and the verify exit is dirty."""
+    good, bad = "1" * 64, "2" * 64
+    cache.put(good, _simple_result())
+    cache.put(bad, _simple_result(cycles=9))
+    path = cache._path(bad)
+    path.write_text(path.read_text()[:40])  # truncate mid-document
+    report = cache.verify(quarantine=True)
+    assert not report.clean
+    assert report.checked == 2 and report.ok == 1
+    assert len(report.corrupt) == 1
+    entry = report.corrupt[0]
+    assert entry["path"] == str(path)
+    assert not path.exists()  # moved out of the live cache...
+    quarantined = cache.root / "quarantine" / path.name
+    assert quarantined.exists()  # ...into quarantine for inspection
+    assert entry["quarantined_to"] == str(quarantined)
+    # the quarantined entry no longer counts as a live entry
+    assert cache.entry_count() == 1
+    # and a re-verify of the survivors is clean
+    assert cache.verify().clean
+
+
+def test_verify_detects_payload_tampering(cache):
+    """Valid JSON whose payload no longer matches its recorded digest
+    (bit rot, manual edits) is corrupt even though it parses."""
+    import json
+
+    key = "3" * 64
+    cache.put(key, _simple_result(cycles=7))
+    path = cache._path(key)
+    document = json.loads(path.read_text())
+    document["result"]["cycles"] = 999_999  # silent corruption
+    path.write_text(json.dumps(document))
+    report = cache.verify(quarantine=False)
+    assert not report.clean
+    assert "digest mismatch" in report.corrupt[0]["problem"]
+    assert path.exists()  # quarantine=False only reports
+
+
+def test_verify_flags_key_filename_mismatch(cache):
+    key = "4" * 64
+    cache.put(key, _simple_result())
+    path = cache._path(key)
+    misplaced = cache.root / "55" / ("5" * 64 + ".json")
+    misplaced.parent.mkdir(parents=True, exist_ok=True)
+    misplaced.write_text(path.read_text())
+    report = cache.verify(quarantine=False)
+    assert len(report.corrupt) == 1
+    problems = {e["path"]: e["problem"] for e in report.corrupt}
+    assert str(misplaced) in problems
+    assert "does not match" in problems[str(misplaced)]
+
+
+def test_verify_flags_pre_digest_entries(cache):
+    """Entries written before digests existed can't prove integrity."""
+    import json
+
+    path = cache.root / "66" / ("6" * 64 + ".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = {name: getattr(_simple_result(), name)
+            for name in ("benchmark", "policy", "scenario", "cycles")}
+    path.write_text(json.dumps({"result": body}))
+    report = cache.verify(quarantine=False)
+    assert not report.clean
+    assert "pre-digest" in report.corrupt[0]["problem"]
+
+
+def test_cli_cache_verify_exits_nonzero_on_corruption(tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache(tmp_path)
+    key = cache.key_for({"benchmark": "SPM_G"})
+    cache.put(key, _simple_result())
+    assert main(["cache", "--verify"]) == 0
+    path = cache._path(key)
+    path.write_text(path.read_text()[:25])
+    assert main(["cache", "--verify"]) == 1
+    assert main(["cache", "--verify"]) == 0  # quarantined on first pass

@@ -1,11 +1,17 @@
 """The fault campaign: the IFP contract checked end to end."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.policies import awg, baseline
 from repro.experiments import faults_campaign
-from repro.experiments.faults_campaign import CampaignResult, _expectation
+from repro.experiments.faults_campaign import (
+    SMOKE_SCALE, CampaignResult, _expectation,
+)
 from repro.faults.plan import named_plan
+from repro.recovery.bundle import load_bundle, replay_bundle
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +57,36 @@ def test_campaign_is_deterministic():
     a = faults_campaign.run(**kwargs)
     b = faults_campaign.run(**kwargs)
     assert a.render() == b.render()
+
+
+def test_violating_cells_emit_replayable_shrunk_bundles(tmp_path):
+    """`faults --bundles DIR --shrink`: every replayable violation
+    lands as a bundle plus its minimized twin and shrink log."""
+    # total_wgs=0 makes every cell raise ConfigError — a deterministic
+    # "cell failed" violation with a replayable exception bundle
+    result = faults_campaign.run(
+        seed=1, benchmarks=["SPM_G"], policies=[awg()],
+        plans=[named_plan("calm", seed=1)],
+        scenario=SMOKE_SCALE.scaled(total_wgs=0),
+        jobs=1, cache=None, bundle_dir=tmp_path, shrink=True)
+    assert not result.ok
+    assert result.bundles, "a violating cell must emit a bundle"
+    assert f"repro-bundle file(s) to {tmp_path}" in result.render()
+
+    bundle_path = Path(result.bundles[0])
+    bundle = load_bundle(bundle_path)
+    assert bundle["expected"]["mode"] == "exception"
+    assert bundle["failure"]["classification"] == "deterministic"
+    assert replay_bundle(bundle)["reproduced"]
+
+    log_path = Path(str(bundle_path).replace(".json", ".shrinklog.json"))
+    assert str(log_path) in result.bundles
+    log = json.loads(log_path.read_text())
+    assert log["source"] == str(bundle_path)
+    assert log["final_size"] < log["initial_size"]
+    minimal = next(p for p in tmp_path.glob("*.json")
+                   if p not in (bundle_path, log_path))
+    assert replay_bundle(load_bundle(minimal))["reproduced"]
 
 
 def test_expectation_table():
