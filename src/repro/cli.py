@@ -27,6 +27,8 @@ Usage::
     awg-repro sanitize _RACY        # the seeded-race drill (exits 1)
     awg-repro trace FAM_G awg --out t.json   # Chrome/Perfetto trace
     awg-repro trace SPM_G --quick --categories wg,sync,dispatch
+    awg-repro bench                 # perf suite -> BENCH_<n>.json
+    awg-repro bench --smoke --out bench-smoke.json   # CI smoke + gate
 """
 
 from __future__ import annotations
@@ -254,6 +256,27 @@ def _run_sanitize(opts, parser) -> int:
     return 0 if clean else 1
 
 
+def _run_bench(opts) -> int:
+    """Run the continuous perf suite (see repro.experiments.bench)."""
+    from repro.experiments import bench
+
+    started = time.time()
+    doc, path, failures = bench.run_bench(
+        smoke=opts.smoke or opts.quick,
+        series=opts.series,
+        out=opts.out,
+    )
+    print(bench.render(doc))
+    print(f"\nwrote {path}  [{time.time() - started:.1f}s]")
+    if failures:
+        print(f"\nREGRESSION vs {doc.get('compared_against')}:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_trace(opts, parser) -> int:
     """Run one benchmark with structured tracing on and export the
     Chrome/Perfetto trace_event JSON (see README "Tracing")."""
@@ -360,7 +383,11 @@ def _dispatch(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small-scale smoke configuration")
     parser.add_argument("--smoke", action="store_true",
-                        help="for 'faults': two-benchmark smoke campaign")
+                        help="for 'faults': two-benchmark smoke campaign; "
+                             "for 'bench': small-scale gated run")
+    parser.add_argument("--series", type=int, default=None, metavar="N",
+                        help="for 'bench': BENCH_N.json series number "
+                             "(default: newest committed + 1)")
     parser.add_argument("--seed", type=int, default=1, metavar="N",
                         help="for 'faults': root seed for the fault plans")
     parser.add_argument("--plans", default=None, metavar="A,B,...",
@@ -421,7 +448,7 @@ def _dispatch(argv=None) -> int:
 
         print("experiments:", ", ".join(EXPERIMENTS))
         print("extras:      ablations, faults, timeline, cache, "
-              "lint, sanitize, trace, matrix, replay, shrink")
+              "lint, sanitize, trace, matrix, replay, shrink, bench")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
@@ -439,6 +466,9 @@ def _dispatch(argv=None) -> int:
 
     if opts.command == "sanitize":
         return _run_sanitize(opts, parser)
+
+    if opts.command == "bench":
+        return _run_bench(opts)
 
     if opts.command == "trace":
         return _run_trace(opts, parser)

@@ -83,6 +83,12 @@ class SyncMon:
         ]
         self._set_hash = UniversalHash(config.syncmon_sets, rng.child("cond-sets"))
         self._waiting_list_used = 0
+        #: cached condition total (the per-registration peak tracking made
+        #: summing 256 sets per call the hottest SyncMon line)
+        self._entry_count = 0
+        #: live condition entries per address; makes the "last condition
+        #: on this address dropped?" check O(1) instead of a full scan
+        self._addr_counts: Dict[int, int] = {}
         self.predictor = ResumePredictor(
             config.bloom_filter_count,
             config.bloom_bits,
@@ -139,7 +145,7 @@ class SyncMon:
 
     @property
     def condition_count(self) -> int:
-        return sum(len(ways) for ways in self._sets)
+        return self._entry_count
 
     @property
     def waiter_count(self) -> int:
@@ -188,6 +194,8 @@ class SyncMon:
         entry = _ConditionEntry(cond=cond)
         entry.waiters[wg_id] = self.env.now
         ways.append(entry)
+        self._entry_count += 1
+        self._addr_counts[cond.addr] = self._addr_counts.get(cond.addr, 0) + 1
         self._waiting_list_used += 1
         self.hierarchy.l2.set_monitored(cond.addr, True)
         self._track_peaks()
@@ -223,11 +231,18 @@ class SyncMon:
 
     def _drop_entry(self, entry: _ConditionEntry) -> None:
         ways = self._set_for(entry.cond)
+        addr = entry.cond.addr
         if entry in ways:
             ways.remove(entry)
-        if not self._entries_for_addr(entry.cond.addr):
-            self.hierarchy.l2.set_monitored(entry.cond.addr, False)
-            self.predictor.release(entry.cond.addr)
+            self._entry_count -= 1
+            remaining = self._addr_counts.get(addr, 1) - 1
+            if remaining:
+                self._addr_counts[addr] = remaining
+            else:
+                del self._addr_counts[addr]
+        if not self._addr_counts.get(addr):
+            self.hierarchy.l2.set_monitored(addr, False)
+            self.predictor.release(addr)
 
     def _track_peaks(self) -> None:
         self.peak_conditions = max(self.peak_conditions, self.condition_count)

@@ -82,14 +82,20 @@ class CommandProcessor:
     def note_waiting(self, wg: "WorkGroup") -> None:
         self._waiting_wgs.add(wg.wg_id)
         self.peak_waiting_wgs = max(self.peak_waiting_wgs, len(self._waiting_wgs))
-        syncmon = self.gpu.syncmon
-        addrs = {e.cond.addr for ways in syncmon._sets for e in ways}
-        addrs.update(addr for (addr, _v) in self.spilled)
-        self.peak_monitored_addrs = max(self.peak_monitored_addrs, len(addrs))
+        # distinct monitored addrs = cached per-addr counts in the SyncMon
+        # plus spilled-only addrs; the old full condition-cache scan per
+        # waiting transition was a profiling hot spot
+        counts = self.gpu.syncmon._addr_counts
+        n_addrs = len(counts)
+        if self.spilled:
+            n_addrs += len(
+                {addr for (addr, _v) in self.spilled if addr not in counts}
+            )
+        self.peak_monitored_addrs = max(self.peak_monitored_addrs, n_addrs)
         tracer = self.gpu.tracer
         if tracer is not None:
             tracer.counter("cp", "cp.waiting_wgs", len(self._waiting_wgs))
-            tracer.counter("cp", "cp.monitored_addrs", len(addrs))
+            tracer.counter("cp", "cp.monitored_addrs", n_addrs)
 
     def note_not_waiting(self, wg: "WorkGroup") -> None:
         self._waiting_wgs.discard(wg.wg_id)

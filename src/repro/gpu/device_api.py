@@ -126,6 +126,17 @@ class WavefrontCtx:
         self.args = wg.kernel.args
         self._debug_ops = os.environ.get("REPRO_DEBUG_OPS") == "1"
 
+    def __getattr__(self, name: str):
+        # Lazily bound device counters: ``self._c_loads()`` resolves to the
+        # cached ``Counter.incr`` for "device.loads" on first use. Lazy (not
+        # eager in __init__) so counters a kernel never touches stay out of
+        # the registry and therefore out of stats snapshots.
+        if name.startswith("_c_"):
+            incr = self.gpu.stats.counter("device." + name[3:]).incr
+            setattr(self, name, incr)
+            return incr
+        raise AttributeError(name)
+
     # -- identity ---------------------------------------------------------
     @property
     def wg_id(self) -> int:
@@ -199,7 +210,7 @@ class WavefrontCtx:
     def load(self, addr: int):
         """Plain (cached) load; returns the word value."""
         yield from self._preamble()
-        self.gpu.stats.counter("device.loads").incr()
+        self._c_loads()
         value = yield self.gpu.hierarchy.load(
             self._cu_id(), addr, wg_id=self.wg_id
         )
@@ -209,7 +220,7 @@ class WavefrontCtx:
     def store(self, addr: int, value: int):
         """Write-through store; completes at the L2."""
         yield from self._preamble()
-        self.gpu.stats.counter("device.stores").incr()
+        self._c_stores()
         yield self.gpu.hierarchy.store_word(
             self._cu_id(), addr, value, wg_id=self.wg_id
         )
@@ -231,7 +242,7 @@ class WavefrontCtx:
     def s_sleep(self, cycles: int):
         """The GCN ``s_sleep`` instruction: stall without releasing
         resources (no issue charge while asleep)."""
-        self.gpu.stats.counter("device.sleeps").incr()
+        self._c_sleeps()
         yield self.env.timeout(max(1, cycles))
         return None
 
@@ -257,7 +268,7 @@ class WavefrontCtx:
     ):
         """Perform an atomic at the L2; returns the :class:`AtomicResult`."""
         yield from self._preamble()
-        self.gpu.stats.counter("device.atomics").incr()
+        self._c_atomics()
         res = yield self.gpu.hierarchy.atomic(
             self._cu_id(), op, addr, operand, operand2, wg_id=self.wg_id
         )
@@ -354,7 +365,7 @@ class WavefrontCtx:
             if satisfied(res.old):
                 res.success = True
                 return res
-            self.gpu.stats.counter("device.spin_retries").incr()
+            self._c_spin_retries()
             if use_backoff:
                 yield from self.s_sleep(backoff)
                 backoff = min(backoff * 2, cap)
@@ -372,8 +383,8 @@ class WavefrontCtx:
         happen atomically at the L2 (the race-free point)."""
         yield from self._preamble()
         gpu = self.gpu
-        gpu.stats.counter("device.atomics").incr()
-        gpu.stats.counter("device.waiting_atomics").incr()
+        self._c_atomics()
+        self._c_waiting_atomics()
         holder: dict = {}
 
         def _hook(result: AtomicResult) -> None:
@@ -399,7 +410,7 @@ class WavefrontCtx:
         trip to the L2 that arms the SyncMon — racy by construction."""
         yield from self._preamble()
         gpu = self.gpu
-        gpu.stats.counter("device.wait_instrs").incr()
+        self._c_wait_instrs()
         bank = gpu.hierarchy.bank_for(cond.addr)
         done = bank.service(gpu.config.l2_store_service)
         result = gpu.env.event()

@@ -226,6 +226,9 @@ class GPU:
             # until they dispatch.
             return self._finished < len(self.wgs) or self._completion_holds > 0
 
+        def halted() -> bool:
+            return not outstanding()
+
         while outstanding():
             if env.now >= cfg.max_cycles:
                 reason = "max_cycles"
@@ -252,10 +255,22 @@ class GPU:
                 last_progress = self.progress_count
                 last_advance = self.advancement_count
                 next_check = env.now + cfg.deadlock_window
+            # Hot path: fire whole same-timestamp batches up to the next
+            # watchdog/cycle-budget boundary, re-checking the completion
+            # condition only between timestamps. Equivalent to the old
+            # per-event step() loop (a mid-batch completion used to exit
+            # here and finish the batch in the same-cycle drain below),
+            # without per-event Python dispatch in between.
+            boundary = cfg.max_cycles if cfg.max_cycles < next_check else next_check
+            env.drain_batches(boundary, halted)
+            if not outstanding():
+                break
+            # The next event (if any) is at or past the boundary. The old
+            # loop fired exactly one such event before its checks could
+            # notice the crossing; preserve that knife-edge.
             if not env.step():
-                if outstanding():
-                    reason = "no_events"
-                    deadlocked = True
+                reason = "no_events"
+                deadlocked = True
                 break
 
         if not deadlocked:
@@ -269,6 +284,11 @@ class GPU:
                     "wg", f"watchdog:{reason}", track="watchdog",
                     finished=self._finished, total=len(self.wgs),
                 )
+            # Scheduler health counters (engine.* in Perfetto): sampled
+            # once at end of run from counters the engine maintains
+            # anyway, so recording them never perturbs the simulation.
+            for metric, value in env.metrics().items():
+                self.tracer.counter("engine", f"engine.{metric}", value)
             self.tracer.finish()
 
         if self.dropped_ops:

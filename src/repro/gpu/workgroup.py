@@ -59,6 +59,16 @@ RESIDENT_STATES = frozenset(
     {WGState.RUNNING, WGState.STALLED, WGState.SWITCHING_OUT, WGState.RESUMING}
 )
 
+#: flat accounting bucket per state: 0 = running, 1 = waiting, 2 = pending
+#: (Fig 11 breakdown); precomputed so the per-transition accounting in
+#: set_state is one list index instead of a classification call
+_BUCKET_INDEX = {
+    state: (2 if state is WGState.PENDING
+            else 1 if state in _WAITING_STATES
+            else 0)
+    for state in WGState
+}
+
 
 class WorkGroup:
     """One work-group of a kernel launch."""
@@ -103,7 +113,8 @@ class WorkGroup:
 
         # accounting (Fig 11: running vs waiting breakdown)
         self._state_since = gpu.env.now
-        self.cycles_by_bucket = {"running": 0, "waiting": 0, "pending": 0}
+        self._bucket_cycles = [0, 0, 0]  # running, waiting, pending
+        self._bucket_idx = _BUCKET_INDEX[self.state]
         self.context_switches = 0
         self.wait_episodes = 0
         self.spurious_wakeups = 0
@@ -111,22 +122,24 @@ class WorkGroup:
     # ------------------------------------------------------------------
     # state accounting
     # ------------------------------------------------------------------
-    def _bucket(self, state: WGState) -> str:
-        if state is WGState.PENDING:
-            return "pending"
-        if state in _WAITING_STATES:
-            return "waiting"
-        return "running"
+    @property
+    def cycles_by_bucket(self) -> Dict[str, int]:
+        """Fig 11 breakdown. A view over the flat per-bucket tallies —
+        the hot per-transition accounting lives in :meth:`set_state`."""
+        cycles = self._bucket_cycles
+        return {"running": cycles[0], "waiting": cycles[1],
+                "pending": cycles[2]}
 
     def set_state(self, new: WGState) -> None:
         now = self.gpu.env.now
-        self.cycles_by_bucket[self._bucket(self.state)] += now - self._state_since
+        self._bucket_cycles[self._bucket_idx] += now - self._state_since
         self._state_since = now
         if new is not self.state:
             tracer = self.gpu.tracer
             if tracer is not None:
                 tracer.set_span("wg", f"wg/{self.wg_id}", new.value)
         self.state = new
+        self._bucket_idx = _BUCKET_INDEX[new]
 
     @property
     def resident(self) -> bool:

@@ -11,7 +11,7 @@ variables are never evicted (paper §V.B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
@@ -34,12 +34,18 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-@dataclass
 class _Line:
-    tag: int
-    last_use: int = 0
-    pinned: bool = False
-    monitored: bool = False
+    """One tag-array entry. A plain slotted class, not a dataclass: lines
+    are allocated per miss on the per-access hot path, and identity
+    comparison is correct (tags are unique within a set)."""
+
+    __slots__ = ("tag", "last_use", "pinned", "monitored")
+
+    def __init__(self, tag: int, last_use: int = 0) -> None:
+        self.tag = tag
+        self.last_use = last_use
+        self.pinned = False
+        self.monitored = False
 
 
 class Cache:
@@ -65,6 +71,9 @@ class Cache:
         self.hit_latency = hit_latency
         self.num_sets = size_bytes // (assoc * block_bytes)
         self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        #: per-set tag -> line lookup; the lists above keep insertion
+        #: order for LRU victim selection, the maps make probes O(1)
+        self._maps: List[Dict[int, _Line]] = [{} for _ in range(self.num_sets)]
         self._tick = 0
         self.stats = CacheStats()
 
@@ -76,11 +85,9 @@ class Cache:
         return (addr // self.block_bytes) % self.num_sets
 
     def _find(self, addr: int) -> Optional[_Line]:
-        tag = self.block_addr(addr)
-        for line in self._sets[self.set_index(addr)]:
-            if line.tag == tag:
-                return line
-        return None
+        block = self.block_bytes
+        tag = addr - (addr % block)
+        return self._maps[(addr // block) % self.num_sets].get(tag)
 
     # -- access ----------------------------------------------------------
     def access(self, addr: int, allocate: bool = True) -> bool:
@@ -112,8 +119,10 @@ class Cache:
                 return line
             victim = min(victims, key=lambda w: w.last_use)
             ways.remove(victim)
+            del self._maps[idx][victim.tag]
             self.stats.evictions += 1
         ways.append(line)
+        self._maps[idx][line.tag] = line
         return line
 
     def invalidate(self, addr: int) -> bool:
@@ -123,6 +132,7 @@ class Cache:
         if line is None or line.pinned:
             return False
         self._sets[idx].remove(line)
+        del self._maps[idx][line.tag]
         return True
 
     # -- AWG tag extension -------------------------------------------------
@@ -139,11 +149,13 @@ class Cache:
             # a detached line (the SyncMon itself still holds the condition).
             if line not in self._sets[self.set_index(addr)]:
                 return
+        # pinned lines only ever change state here (eviction and
+        # invalidation both skip them), so the count stays incremental —
+        # the full-cache recount this replaces was a profiling hot spot
+        if line.pinned != monitored:
+            self.stats.pinned_blocks += 1 if monitored else -1
         line.monitored = monitored
         line.pinned = monitored
-        self.stats.pinned_blocks = sum(
-            1 for s in self._sets for w in s if w.pinned
-        )
 
     def is_monitored(self, addr: int) -> bool:
         line = self._find(addr)

@@ -114,7 +114,10 @@ class SweepCheckpoint:
         self.resumed = 0
         self.created_at = time.time()
         self._dirty = False
-        self._last_flush = 0.0
+        #: monotonic time of the last flush; None = never flushed, so the
+        #: first flush always lands (0.0 would collide with monotonic
+        #: clocks that start near zero, e.g. freshly booted containers)
+        self._last_flush: Optional[float] = None
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -238,6 +241,7 @@ class SweepCheckpoint:
             return False
         now = time.monotonic()
         if (not force and self.flush_interval > 0
+                and self._last_flush is not None
                 and now - self._last_flush < self.flush_interval):
             return False
         self.path.parent.mkdir(parents=True, exist_ok=True)

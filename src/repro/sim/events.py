@@ -32,7 +32,9 @@ class Event:
         self.env = env
         self._state = _PENDING
         self._value: object = None
-        self._callbacks: List[Callback] = []
+        # lazily allocated: most timeouts get at most one observer, and
+        # pure delays (quantum ticks) get none at all
+        self._callbacks: Optional[List[Callback]] = None
         self.cancelled = False
 
     # -- state ---------------------------------------------------------
@@ -88,15 +90,18 @@ class Event:
         if self._state != _SCHEDULED:
             raise SimulationError("firing an event that was not scheduled")
         self._state = _FIRED
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     # -- observers -----------------------------------------------------
     def add_callback(self, cb: Callback) -> None:
         """Run ``cb(event)`` when the event fires (immediately if fired)."""
         if self._state == _FIRED:
             cb(self)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 

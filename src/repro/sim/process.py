@@ -80,11 +80,12 @@ class Process(Event):
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
             )
         self._waiting_on = target
-        target.add_callback(self._make_wakeup(target))
+        target.add_callback(self._wakeup)
 
-    def _make_wakeup(self, target: Event):
-        def _wakeup(event: Event) -> None:
-            if self._waiting_on is target:
-                self._resume(event.value, None)
-
-        return _wakeup
+    def _wakeup(self, event: Event) -> None:
+        # Bound method instead of a per-yield closure: the identity check
+        # against _waiting_on already rejects stale wakeups (an event the
+        # process abandoned — e.g. after an interrupt — firing later), so
+        # the closure's captured target added nothing but allocations.
+        if self._waiting_on is event:
+            self._resume(event.value, None)

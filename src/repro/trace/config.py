@@ -17,6 +17,7 @@ CATEGORIES: Tuple[str, ...] = (
     "fault",     # injected faults (mirrors the faults.* stats)
     "cp",        # Command Processor: context switches, log drains, spills
     "mem",       # memory-op counts (counts only; no per-op ring events)
+    "engine",    # scheduler health: peak pending, lane hit ratio, compactions
 )
 
 
