@@ -10,6 +10,8 @@
 #   make trace-smoke   export one trace and validate the Perfetto schema
 #   make recovery-smoke  kill-and-resume a tiny sweep, replay + shrink
 #                        a drill repro bundle
+#   make fabric-smoke  seeded chaos drill over the distributed sweep
+#                      fabric: 4 workers, kill/stall/interrupt faults
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
@@ -22,7 +24,7 @@ PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke bench-json bench-json-smoke \
-	faults-smoke trace-smoke recovery-smoke clean-cache
+	faults-smoke trace-smoke recovery-smoke fabric-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -53,6 +55,9 @@ trace-smoke:
 
 recovery-smoke:
 	$(PY) -m repro.recovery.smoke
+
+fabric-smoke:
+	$(PY) -m repro fabric drill --workers 4 --seed 0
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

@@ -17,6 +17,11 @@ instead of unmeasured speedup claims. The suite has three parts:
 3. **One fig7 sweep** — end-to-end wall-clock of a multi-cell
    experiment under the default engine, the number a person doing a
    sweep actually waits on.
+4. **Fabric scale row** — the same cell list through the distributed
+   sweep fabric at 1/2/4 workers vs a plain in-process ``jobs=1`` run,
+   cold cache and fresh directories each time, so the trajectory
+   records what the lease/commit/heartbeat machinery costs (and what a
+   small fleet buys) honestly. Wall-clock only, never gated.
 
 Absolute events/sec and cycles/sec are machine-dependent, so the
 regression gate compares only the engine-relative *speedup ratios*
@@ -251,6 +256,63 @@ def _run_fig7(smoke: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------
+# part 4: fabric scale row (fleet overhead/speedup vs one process)
+# ---------------------------------------------------------------------
+
+#: worker counts for the fabric scale row
+FABRIC_WORKERS = (1, 2, 4)
+
+
+def _run_fabric_scale(smoke: bool) -> Dict[str, Any]:
+    import shutil
+    import tempfile
+
+    from repro.experiments.matrix import RunRequest, run_matrix
+    from repro.fabric.coordinator import run_fabric
+
+    scenario = (QUICK_SCALE.scaled(label="bench-fabric", iterations=6,
+                                   episodes=24)
+                if smoke else QUICK_SCALE)
+    requests = [
+        RunRequest(bench, policy, scenario, validate=False)
+        for bench in WORKLOAD_BENCHMARKS
+        for policy in (awg(), monnr_one())
+    ]
+    start = perf_counter()
+    run_matrix(requests, jobs=1, cache=None, checkpoint=False)
+    single = perf_counter() - start
+    entry: Dict[str, Any] = {
+        "scenario": scenario.label,
+        "cells": len(requests),
+        "single_process_seconds": round(single, 3),
+        "workers": {},
+    }
+    for workers in FABRIC_WORKERS:
+        scratch = Path(tempfile.mkdtemp(prefix="repro-bench-fabric-"))
+        try:
+            start = perf_counter()
+            outcome = run_fabric(
+                requests, workers=workers,
+                checkpoint_root=scratch / "ckpt",
+                fabric_root=scratch / "fab",
+                cache=None, trace=False,
+            )
+            wall = perf_counter() - start
+            if not outcome.ok:
+                raise AssertionError(
+                    f"fabric bench sweep failed at workers={workers}: "
+                    f"{outcome.errors[0].traceback}")
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        entry["workers"][str(workers)] = {
+            "wall_seconds": round(wall, 3),
+            "speedup_vs_single": round(single / wall, 3),
+            "overhead_seconds": round(wall - single, 3),
+        }
+    return entry
+
+
+# ---------------------------------------------------------------------
 # document assembly, trajectory, regression gate
 # ---------------------------------------------------------------------
 
@@ -366,6 +428,7 @@ def run_bench(
     scenario = QUICK_SCALE if smoke else PAPER_SCALE
     workloads = _run_workloads(scenario, repeats=3 if smoke else 2)
     fig7_result = _run_fig7(smoke)
+    fabric_result = _run_fabric_scale(smoke)
 
     doc: Dict[str, Any] = {
         "schema": 1,
@@ -377,6 +440,7 @@ def run_bench(
             "engine_micro": micro,
             "workloads": workloads,
             "fig7": fig7_result,
+            "fabric": fabric_result,
         },
         "headline": _headline(micro, workloads),
     }
@@ -425,6 +489,18 @@ def render(doc: Dict[str, Any]) -> str:
         f"fig7 sweep [{fig['scenario']}, {len(fig['intervals'])} "
         f"intervals]: {fig['wall_seconds']:.1f}s wall"
     )
+    fab = doc["suite"].get("fabric")
+    if fab:
+        lines.append("")
+        lines.append(
+            f"fabric scale [{fab['scenario']}, {fab['cells']} cells, "
+            f"single-process {fab['single_process_seconds']:.1f}s]:"
+        )
+        for workers, e in fab["workers"].items():
+            lines.append(
+                f"  workers={workers:<3} {e['wall_seconds']:>7.1f}s wall"
+                f"  speedup {e['speedup_vs_single']:.2f}x vs jobs=1"
+            )
     head = doc["headline"]
     lines.append("")
     lines.append(

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -37,6 +38,10 @@ from repro.experiments.runner import RunResult
 #: entry layout is ``<2-hex-char shard>/<key>.json``; the glob must not
 #: sweep up the ``quarantine/`` directory the integrity check fills
 _ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.json"
+
+#: a writer claim older than this is abandoned (its writer died between
+#: claiming the key and renaming the entry into place) and may be broken
+_CLAIM_TTL = 60.0
 
 #: RunResult fields persisted to disk (everything except ``gpu``)
 RESULT_FIELDS = (
@@ -155,6 +160,8 @@ class ResultCache:
         self.stores = 0
         #: corrupted entries deleted and re-simulated (self-heal)
         self.healed = 0
+        #: puts skipped because another live writer held the key's claim
+        self.contended = 0
 
     # -- keys ----------------------------------------------------------
     def key_for(self, spec: Dict[str, Any]) -> str:
@@ -199,7 +206,15 @@ class ResultCache:
     def put(self, key: str, result: RunResult) -> None:
         """Persist one result atomically (temp file + fsync + rename), so
         a concurrent reader or a crash mid-write never leaves a torn
-        entry behind."""
+        entry behind.
+
+        Concurrent writers of the *same* key (two sweeps sharing the
+        cache, or a fabric fleet mirroring its commits) are serialized
+        by an ``O_EXCL`` claim file: the first writer takes the claim
+        and writes; everyone else skips the put entirely — entries are
+        content-addressed, so a rival's bytes are identical and writing
+        them again buys nothing but rename traffic. A claim left behind
+        by a dead writer is broken after ``_CLAIM_TTL`` seconds."""
         if result.gpu is not None:
             raise ConfigError(
                 "refusing to cache a RunResult holding a GPU object; "
@@ -207,6 +222,10 @@ class ResultCache:
             )
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        claim = path.with_name(f".{path.name}.claim")
+        if not self._take_claim(claim):
+            self.contended += 1
+            return
         body = result_to_payload(result)
         document = {
             "result": body,
@@ -215,15 +234,38 @@ class ResultCache:
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
-            with open(tmp, "w") as fh:
-                fh.write(json.dumps(document, sort_keys=True))
-                fh.flush()
-                os.fsync(fh.fileno())
-            tmp.replace(path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+            try:
+                with open(tmp, "w") as fh:
+                    fh.write(json.dumps(document, sort_keys=True))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                tmp.replace(path)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
+        finally:
+            claim.unlink(missing_ok=True)
         self.stores += 1
+
+    @staticmethod
+    def _take_claim(claim: Path) -> bool:
+        """Try to own the per-key writer claim (``O_CREAT|O_EXCL`` —
+        exactly one winner). False means a live rival holds it; a stale
+        claim (dead writer) is broken and the attempt retried."""
+        while True:
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - claim.stat().st_mtime
+                except OSError:
+                    continue  # claim vanished between open and stat
+                if age <= _CLAIM_TTL:
+                    return False
+                claim.unlink(missing_ok=True)
+                continue
+            os.close(fd)
+            return True
 
     # -- maintenance ---------------------------------------------------
     def verify(self, quarantine: bool = True) -> "CacheVerifyReport":

@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
+import multiprocessing
 import os
 import signal
 import threading
@@ -321,6 +322,59 @@ def _log_execution(request: RunRequest) -> None:
         pass
 
 
+def _cell_subprocess_child(conn, request: RunRequest) -> None:
+    """Child half of the wall-clock fallback: execute and ship the
+    outcome back over the pipe (structured, like the SIGALRM path)."""
+    try:
+        outcome = (request.execute(), None)
+    except Exception as exc:
+        outcome = (None, _failure_info(exc, traceback.format_exc()))
+    try:
+        conn.send(outcome)
+    except (OSError, ValueError):  # pragma: no cover - parent went away
+        pass
+
+
+def _execute_cell_subprocess(
+    request: RunRequest, timeout: float
+) -> Tuple[Optional[RunResult], Optional[Dict[str, Any]]]:
+    """Wall-clock per-cell budget for contexts where SIGALRM cannot arm
+    (any thread but the main one, platforms without ``setitimer``).
+
+    The cell runs in a disposable spawned subprocess; the parent waits
+    ``timeout`` seconds on the result pipe and kills the child on
+    overrun. Costs one interpreter start-up per cell, which is why the
+    in-worker alarm stays the fast path."""
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_cell_subprocess_child,
+                       args=(child_conn, request), daemon=True)
+    proc.start()
+    child_conn.close()
+    outcome = None
+    try:
+        if parent_conn.poll(timeout):
+            outcome = parent_conn.recv()
+    except (EOFError, OSError):
+        outcome = None  # child died mid-send
+    finally:
+        parent_conn.close()
+    if outcome is None:
+        timed_out = proc.is_alive()
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=10)
+        if timed_out:
+            exc = CellTimeoutError(
+                f"cell exceeded its {timeout:g}s wall-clock budget "
+                f"(subprocess fallback; SIGALRM unavailable off the "
+                f"main thread)")
+            return None, _failure_info(exc, str(exc))
+        return None, _crash_failure(1)
+    proc.join(timeout=10)
+    return outcome
+
+
 def _execute_cell(
     request: RunRequest, timeout: Optional[float] = None
 ) -> Tuple[Optional[RunResult], Optional[Dict[str, Any]]]:
@@ -329,15 +383,37 @@ def _execute_cell(
     One exception to "never raises": a :class:`SweepInterrupted` from
     the sweep's SIGINT/SIGTERM handler. With ``jobs=1`` the cell runs in
     the main process, so the handler's raise lands *inside* this frame —
-    it must unwind the whole sweep, not become a cell failure."""
+    it must unwind the whole sweep, not become a cell failure.
+
+    When a timeout is requested but the SIGALRM budget cannot arm —
+    ``run_matrix(jobs=1)`` called off the main thread, or a platform
+    without ``setitimer`` — the cell falls back to a killable
+    subprocess with an outer wall-clock wait instead of silently
+    running unbounded (``keep_gpu`` cells cannot cross a process
+    boundary and keep the historical unbounded behaviour)."""
     _log_execution(request)
     try:
-        with _CellAlarm(timeout):
+        with _CellAlarm(timeout) as alarm:
+            if timeout and not alarm.armed and not request.keep_gpu:
+                return _execute_cell_subprocess(request, timeout)
             return request.execute(), None
     except SweepInterrupted:
         raise
     except Exception as exc:
         return None, _failure_info(exc, traceback.format_exc())
+
+
+def execute_cell(
+    request: RunRequest, timeout: Optional[float] = None
+) -> Tuple[Optional[RunResult], Optional[Dict[str, Any]]]:
+    """Public single-cell entrypoint: execute one matrix cell with the
+    standard budget/failure machinery and return ``(result, failure)``
+    — exactly one of the pair is non-None. This is the path fabric
+    workers (:mod:`repro.fabric.worker`) run leased cells through, so a
+    fleet cell behaves bit-identically to a ``run_matrix`` cell:
+    same ``REPRO_EXEC_LOG`` accounting, same structured failure
+    records, same timeout classification."""
+    return _execute_cell(request, timeout)
 
 
 class MatrixResult(Sequence):

@@ -1,0 +1,536 @@
+"""Fabric coordinator: the manifest owner that leases cells to a fleet.
+
+:func:`run_fabric` is the distributed counterpart of
+:func:`~repro.experiments.matrix.run_matrix`: same request list, same
+bit-identical results, but the cells execute on N worker processes
+coordinated purely through a shared directory. The coordinator:
+
+- opens the PR 5 :class:`~repro.recovery.manifest.SweepCheckpoint` as
+  the *single source of truth* — completed cells from a previous
+  (crashed) coordinator are adopted and never re-executed, the current
+  lease table is mirrored into the manifest document on every flush,
+  and torn/stale entries are discarded exactly as in a single-process
+  resume;
+- publishes ``sweep.json`` (specs + code fingerprint + budgets) for
+  workers to adopt;
+- folds worker-committed results from ``results/`` into the manifest
+  (digest-checked; corrupt commits are quarantined and re-leased);
+- expires leases whose heartbeat went stale and *steals* them so the
+  cell can be re-leased — worker death is just an un-leased cell;
+- runs the result-cache integrity check over a dead worker's cells
+  (the ``cache --verify`` machinery) so a worker that died mid-write
+  can never leave a poisoned shared-cache entry behind;
+- emits every fleet event as ``fabric.*`` stats and trace instants
+  (lease grants/expiries/steals, commits, worker deaths/respawns)
+  through the PR 4 tracer on a wall-clock timebase;
+- on SIGINT/SIGTERM flushes the manifest, stops the fleet and raises
+  :class:`~repro.experiments.matrix.SweepInterrupted` — the CLI exits
+  128+signum and an identical re-invocation resumes the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError, ReproError
+from repro.experiments.cache import (
+    ResultCache, default_cache, payload_digest, result_from_payload,
+)
+from repro.experiments.matrix import (
+    Cell, MatrixError, RunRequest, SweepInterrupted, resolve_cell_retries,
+    resolve_cell_timeout,
+)
+from repro.experiments.runner import RunResult
+from repro.fabric.lease import (
+    FabricDir, LEASE_VERSION, default_fabric_root,
+)
+from repro.fabric.supervisor import Supervisor
+from repro.recovery.manifest import SweepCheckpoint, cell_key
+from repro.trace.config import TraceConfig
+from repro.trace.tracer import Tracer
+
+
+class FabricError(ReproError):
+    """The fleet can no longer make progress (every worker slot's
+    crash-loop circuit breaker is open)."""
+
+
+class _WallClock:
+    """Engine-shaped clock for the tracer: ``now`` is microseconds
+    since the coordinator started (fleet events live in wall time,
+    not simulated cycles)."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    @property
+    def now(self) -> int:
+        return int((time.monotonic() - self._start) * 1e6)
+
+
+@dataclass
+class FabricResult:
+    """Outcome of one fabric sweep, shaped like a MatrixResult."""
+
+    cells: List[Cell]
+    workers: int
+    sweep_key: str
+    stats: Dict[str, int]
+    duration: float
+    resumed: int = 0
+    trace: Optional[Dict[str, Any]] = None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __getitem__(self, index: int) -> RunResult:
+        from repro.experiments.matrix import CellError
+
+        cell = self.cells[index]
+        if cell.failure is not None:
+            raise CellError(cell.request, cell.error, failure=cell.failure)
+        return cell.result
+
+    @property
+    def errors(self) -> List[MatrixError]:
+        return [MatrixError(i, c.request, c.error, c.failure)
+                for i, c in enumerate(self.cells)
+                if c.failure is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        done = sum(1 for c in self.cells if c.result is not None)
+        line = (f"fabric: {len(self.cells)} cells, {done} completed, "
+                f"{len(self.errors)} failed, workers={self.workers}, "
+                f"{self.duration:.1f}s")
+        if self.resumed:
+            line += f", {self.resumed} resumed from checkpoint"
+        interesting = ("fabric.lease.expired", "fabric.lease.stolen",
+                       "fabric.worker.deaths", "fabric.worker.respawns",
+                       "fabric.commits.lost")
+        extras = [f"{k.split('fabric.')[1]}={self.stats[k]}"
+                  for k in interesting if self.stats.get(k)]
+        if extras:
+            line += " [" + ", ".join(extras) + "]"
+        return line
+
+
+#: journal event -> stats counter. The coordinator derives ALL
+#: ``fabric.*`` stats (and the matching trace instants) by ingesting
+#: ``events.log`` — its own events included — so a resumed coordinator
+#: reports the sweep's *whole* history, not just its own tenure.
+_EVENT_STATS = {
+    "lease.grant": "fabric.lease.granted",
+    "lease.release": "fabric.lease.released",
+    "lease.expired": "fabric.lease.expired",
+    "lease.stolen": "fabric.lease.stolen",
+    "cell.commit": "fabric.cells.committed",
+    "cell.fail": "fabric.cells.failed_attempts",
+    "commit.lost": "fabric.commits.lost",
+    "worker.start": "fabric.worker.starts",
+    "worker.exit": "fabric.worker.exits",
+    "worker.death": "fabric.worker.deaths",
+    "worker.respawn": "fabric.worker.respawns",
+    "worker.circuit_open": "fabric.worker.circuits_open",
+    "result.quarantined": "fabric.results.quarantined",
+    "cache.quarantined": "fabric.cache.quarantined",
+}
+
+
+class Coordinator:
+    """Owns one sweep: manifest, lease table, result ingestion."""
+
+    def __init__(
+        self,
+        requests: Sequence[RunRequest],
+        ttl: float = 5.0,
+        poll_interval: float = 0.05,
+        cell_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        checkpoint_root: Union[None, str, os.PathLike] = None,
+        fabric_root: Union[None, str, os.PathLike] = None,
+        cache: Union[ResultCache, str, None] = "default",
+        trace: bool = True,
+    ):
+        if any(req.keep_gpu for req in requests):
+            raise ConfigError(
+                "keep_gpu=True cells cannot run on the fabric (a GPU "
+                "object never crosses a process boundary)")
+        self.requests = list(requests)
+        self.ttl = ttl
+        self.poll_interval = poll_interval
+        self.cell_timeout = resolve_cell_timeout(cell_timeout)
+        self.retries = resolve_cell_retries(retries)
+        self.cache = default_cache() if cache == "default" else cache
+
+        # unique cells in request order (same dedupe rule as run_matrix)
+        self.specs: List[Dict[str, Any]] = []
+        self.keys: List[str] = []
+        self._key_of_request: List[str] = []
+        seen = set()
+        for req in self.requests:
+            spec = req.spec()
+            key = cell_key(spec)
+            self._key_of_request.append(key)
+            if key not in seen:
+                seen.add(key)
+                self.specs.append(spec)
+                self.keys.append(key)
+        self._request_of_key = {
+            key: RunRequest.from_spec(spec)
+            for key, spec in zip(self.keys, self.specs)
+        }
+
+        self.ckpt = SweepCheckpoint.open(self.specs, root=checkpoint_root)
+        self.sweep_key = self.ckpt.path.stem
+        root = (Path(fabric_root) if fabric_root is not None
+                else default_fabric_root())
+        self.dir = FabricDir(root / self.sweep_key)
+
+        self.stats: Dict[str, int] = {}
+        self.clock = _WallClock()
+        self.tracer = None
+        if trace:
+            self.tracer = Tracer(
+                self.clock, TraceConfig(categories=("fabric",)))
+        self._events_offset = 0
+        self._started = time.monotonic()
+        #: wall deadline per leased key before it counts as expired is
+        #: carried by the lease record itself; this tracks what we
+        #: already announced so expiry instants fire once per lease
+        self._known_leases: Dict[str, Optional[str]] = {}
+
+    # -- observability --------------------------------------------------
+    def _bump(self, stat: str, n: int = 1) -> None:
+        self.stats[stat] = self.stats.get(stat, 0) + n
+
+    def _instant(self, name: str, **args: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.instant("fabric", name, track="fabric", **args)
+
+    # -- lifecycle ------------------------------------------------------
+    def prepare(self) -> None:
+        """Publish the sweep and adopt prior progress (manifest +
+        shared cache), so workers only ever see missing cells."""
+        self.dir.init()
+        self.dir.clear_stop()
+        self._bump("fabric.cells.total", len(self.keys))
+        self._bump("fabric.cells.resumed", self.ckpt.resumed)
+        # a) manifest-completed cells -> results/ so workers skip them
+        for key in self.keys:
+            if key in self.ckpt.completed and not self.dir.has_result(key):
+                self.dir.commit_result(key, self.ckpt.completed[key])
+        # b) shared-cache hits -> manifest + results/ (mirrored exactly
+        #    like run_matrix mirrors cache hits into the checkpoint)
+        if self.cache is not None:
+            for key, spec in zip(self.keys, self.specs):
+                if key in self.ckpt.completed:
+                    continue
+                hit = self.cache.get(self.cache.key_for(spec))
+                if hit is not None:
+                    self._bump("fabric.cache.hits")
+                    self.ckpt.record(key, hit)
+                    self.dir.commit_result(key, self.ckpt.completed[key])
+        self.dir.publish_sweep({
+            "sweep_key": self.sweep_key,
+            "fingerprint": self.ckpt.fingerprint,
+            "lease_version": LEASE_VERSION,
+            "ttl": self.ttl,
+            "cell_timeout": self.cell_timeout,
+            "retries": self.retries,
+            "cells": [{"key": key, "spec": spec}
+                      for key, spec in zip(self.keys, self.specs)],
+        })
+        self._instant("sweep.start", cells=len(self.keys),
+                      resumed=self.ckpt.resumed)
+
+    # -- one supervision tick -------------------------------------------
+    def poll(self) -> bool:
+        """Ingest journals, fold results, expire leases; True = done."""
+        self._ingest_events()
+        self._ingest_results()
+        self._expire_leases()
+        self._mirror_lease_table()
+        return self.done()
+
+    def _ingest_events(self) -> None:
+        self._events_offset, events = self.dir.read_events(
+            self._events_offset)
+        for record in events:
+            name = record.get("ev")
+            if not isinstance(name, str):
+                continue
+            args = {k: v for k, v in record.items()
+                    if k not in ("ev", "t")}
+            stat = _EVENT_STATS.get(name)
+            if stat is not None:
+                self._bump(stat)
+            self._instant(name, **args)
+
+    def _ingest_results(self) -> None:
+        for key in self.keys:
+            if key in self.ckpt.completed or not self.dir.has_result(key):
+                continue
+            document = self.dir.read_result(key)
+            problem = self._check_document(key, document)
+            if problem is not None:
+                dest = self.dir.quarantine_result(key)
+                self.dir.append_event("result.quarantined", key=key,
+                                      problem=problem,
+                                      quarantined_to=str(dest))
+                continue
+            self.ckpt.record(key, result_from_payload(document["result"]))
+            self._bump("fabric.cells.recorded")
+
+    @staticmethod
+    def _check_document(key: str,
+                        document: Optional[Dict[str, Any]]) -> Optional[str]:
+        """None when a committed result is intact (digest + identity +
+        reconstructs), else the problem — the same checks ``cache
+        --verify`` applies to shared-store entries."""
+        if document is None or "result" not in document:
+            return "unreadable or empty commit"
+        if document.get("key") != key:
+            return "embedded key does not match cell"
+        if document.get("digest") != payload_digest(document["result"]):
+            return "payload digest mismatch (torn commit)"
+        try:
+            result_from_payload(document["result"])
+        except (TypeError, ValueError) as exc:
+            return f"payload does not reconstruct a RunResult ({exc})"
+        return None
+
+    def _expire_leases(self) -> None:
+        for key in self.dir.live_leases():
+            record = self.dir.read_lease(key)
+            worker = record.get("worker") if record else None
+            if key not in self._known_leases:
+                self._known_leases[key] = worker
+            if not self.dir.lease_expired(key, self.ttl):
+                continue
+            self.dir.append_event(
+                "lease.expired", key=key, worker=worker,
+                age=round(self.dir.lease_age(key) or 0.0, 3))
+            if self.dir.steal(key):
+                self.dir.append_event("lease.stolen", key=key,
+                                      worker=worker)
+                self._known_leases.pop(key, None)
+                self._verify_recovered(key)
+
+    def _verify_recovered(self, key: str) -> None:
+        """Integrity layer for a dead/stalled worker's cell: its
+        partial fabric commit is digest-checked by ``_ingest_results``;
+        here the *shared cache* entry it may have been writing gets the
+        ``cache --verify`` treatment so a torn mirror is quarantined
+        before any other sweep can read it."""
+        if self.cache is None:
+            return
+        spec = dict(zip(self.keys, self.specs)).get(key)
+        if spec is None:
+            return
+        path = self.cache._path(self.cache.key_for(spec))
+        if not path.exists():
+            return
+        problem = self.cache._check_entry(path)
+        if problem is None:
+            return
+        dest = self.cache.root / "quarantine" / path.name
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            path.replace(dest)
+        except OSError:
+            return
+        self.dir.append_event("cache.quarantined", key=key,
+                              problem=problem)
+
+    def _mirror_lease_table(self) -> None:
+        """Keep the manifest's ``fabric`` record current: the lease
+        table (who holds what, how stale) plus fleet counters. Flushed
+        with the next ``record``/``flush`` like any manifest change."""
+        table = {}
+        for key in self.dir.live_leases():
+            record = self.dir.read_lease(key) or {}
+            table[key] = {
+                "worker": record.get("worker"),
+                "age": round(self.dir.lease_age(key) or 0.0, 3),
+                "ttl": record.get("ttl", self.ttl),
+            }
+        self.ckpt.extra = {
+            "lease_version": LEASE_VERSION,
+            "leases": table,
+            "stats": dict(self.stats),
+        }
+        self.ckpt.mark_in_flight(list(table))
+
+    def note_fleet_event(self, event: str, worker: str, detail: Any) -> None:
+        """Supervisor events (deaths, respawns, circuit trips) are
+        journaled like worker events, then ingested into the same
+        stats/trace stream — so they survive a coordinator restart."""
+        self.dir.append_event(event, worker=worker, detail=detail)
+
+    # -- termination ----------------------------------------------------
+    def _settled(self, key: str) -> bool:
+        if key in self.ckpt.completed:
+            return True
+        return self.dir.failure_settled(key, self.retries)
+
+    def done(self) -> bool:
+        return all(self._settled(key) for key in self.keys)
+
+    def commits_by_worker(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _key, worker in self.dir.read_commits():
+            counts[worker] = counts.get(worker, 0) + 1
+        return counts
+
+    def interrupt(self, signum: int) -> None:
+        """Signal-handler path: leave everything resumable, fast."""
+        self.ckpt.flush(force=True)
+        self.dir.write_stop(f"interrupted by signal {signum}")
+
+    def finalize(self, workers: int) -> FabricResult:
+        self.dir.write_stop("sweep settled")
+        self._instant("sweep.done",
+                      completed=len(self.ckpt.completed),
+                      cells=len(self.keys))
+        self._mirror_lease_table()
+        failures = {
+            key: (self.dir.read_failure(key) or {}).get("failure")
+            for key in self.keys if key not in self.ckpt.completed
+        }
+        cells: List[Cell] = []
+        for index, req in enumerate(self.requests):
+            key = self._key_of_request[index]
+            result = self.ckpt.get(key)
+            if result is not None:
+                # duplicates get their own stats dict (run_matrix rule)
+                cells.append(Cell(self._request_of_key.get(key, req),
+                                  result=result, from_cache=False))
+            else:
+                failure = failures.get(key) or {
+                    "type": "FabricError",
+                    "message": "cell never completed",
+                    "traceback": "cell never completed",
+                    "classification": "environmental",
+                }
+                cells.append(Cell(req, failure=failure))
+        # end-of-sweep manifest policy matches run_matrix: complete
+        # sweeps delete their manifest, partial ones flush for resume
+        self.ckpt.extra = {}
+        self.ckpt.complete()
+        trace_doc = None
+        if self.tracer is not None:
+            self.tracer.finish()
+            trace_doc = self.tracer.export_chrome(
+                label=f"fabric {self.sweep_key}")
+        return FabricResult(
+            cells=cells,
+            workers=workers,
+            sweep_key=self.sweep_key,
+            stats=dict(self.stats),
+            duration=time.monotonic() - self._started,
+            resumed=self.ckpt.resumed,
+            trace=trace_doc,
+        )
+
+
+class _FabricSignals:
+    """SIGINT/SIGTERM for the duration of one fabric run: flush the
+    manifest, tell the fleet to stop, raise SweepInterrupted (the CLI
+    maps it to exit 128+signum; the sweep resumes on re-invocation)."""
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, coordinator: Coordinator, supervisor: Supervisor):
+        self.coordinator = coordinator
+        self.supervisor = supervisor
+        self._previous: Dict[int, Any] = {}
+
+    def __enter__(self) -> "_FabricSignals":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+
+        def _fire(signum, _frame):
+            self.coordinator.interrupt(signum)
+            self.supervisor.kill_all()
+            raise SweepInterrupted(signum)
+
+        for signum in self._SIGNALS:
+            self._previous[signum] = signal.signal(signum, _fire)
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        return False
+
+
+def run_fabric(
+    requests: Sequence[RunRequest],
+    workers: int = 2,
+    ttl: float = 5.0,
+    poll_interval: float = 0.05,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint_root: Union[None, str, os.PathLike] = None,
+    fabric_root: Union[None, str, os.PathLike] = None,
+    cache: Union[ResultCache, str, None] = "default",
+    trace: bool = True,
+    on_tick: Optional[Callable[[Coordinator, Supervisor], None]] = None,
+    supervisor_kw: Optional[Dict[str, Any]] = None,
+) -> FabricResult:
+    """Run a sweep on a leased worker fleet; the distributed
+    ``run_matrix``.
+
+    Results are bit-identical to ``run_matrix(requests, jobs=1)``
+    (simulations are seeded and deterministic; the fabric only changes
+    *where* cells run). ``ttl`` is the lease heartbeat budget: a worker
+    silent for longer loses its cell. ``on_tick`` is the chaos drill's
+    hook — called once per coordinator poll with live coordinator and
+    supervisor handles."""
+    workers = max(1, int(workers))
+    coordinator = Coordinator(
+        requests, ttl=ttl, poll_interval=poll_interval,
+        cell_timeout=cell_timeout, retries=retries,
+        checkpoint_root=checkpoint_root, fabric_root=fabric_root,
+        cache=cache, trace=trace,
+    )
+    coordinator.prepare()
+    supervisor = Supervisor(coordinator.dir, workers,
+                            poll_interval=poll_interval,
+                            **(supervisor_kw or {}))
+    try:
+        if not coordinator.done():
+            with _FabricSignals(coordinator, supervisor):
+                supervisor.start_all()
+                while True:
+                    done = coordinator.poll()
+                    for event, name, detail in supervisor.poll(
+                            coordinator.commits_by_worker(),
+                            sweep_done=done):
+                        coordinator.note_fleet_event(event, name, detail)
+                    if done:
+                        break
+                    if on_tick is not None:
+                        on_tick(coordinator, supervisor)
+                    if supervisor.all_circuits_open():
+                        coordinator.dir.write_stop("fleet crash-looped")
+                        coordinator.ckpt.flush(force=True)
+                        raise FabricError(
+                            "every worker slot's crash-loop circuit "
+                            "breaker is open; sweep aborted (manifest "
+                            "flushed — fix the cause and re-run to "
+                            "resume)")
+                    time.sleep(poll_interval)
+    finally:
+        supervisor.shutdown()
+    return coordinator.finalize(workers)

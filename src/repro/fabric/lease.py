@@ -1,0 +1,443 @@
+"""The fabric's shared on-disk protocol: leases, commits, event log.
+
+One sweep lives in one *fabric directory* (shared filesystem is the
+only transport, which is what makes workers remote-ready):
+
+``sweep.json``
+    the coordinator's published sweep: schema version, code
+    fingerprint, ordered cell specs, execution knobs. Workers refuse a
+    sweep whose fingerprint does not match their own code.
+``leases/<cell_key>.json``
+    one versioned lease record per claimed cell (``LEASE_VERSION``,
+    like the bundle schema). Claimed with ``O_CREAT|O_EXCL`` — exactly
+    one claimant wins. The owner heartbeats by bumping the file's mtime
+    through the fd it claimed with, so a lease stolen out from under a
+    stalled worker is never refreshed by mistake (the orphaned inode
+    soaks up the late utimes). A lease whose mtime is older than its
+    TTL is *expired*; only the coordinator removes expired leases
+    (a steal). A torn lease record — the claimant died mid-write — is
+    skipped like a torn manifest entry: its mtime still drives expiry,
+    it simply names no owner.
+``results/<cell_key>.json``
+    committed cell results, same ``{"result", "key", "digest"}`` layout
+    as result-cache entries. Committed by hard-linking a fsynced temp
+    file into place: ``os.link`` fails with ``EEXIST`` for every
+    committer but the first, which is the exactly-once invariant.
+``failures/<cell_key>.json``
+    structured failure record + attempt count for cells whose
+    simulation failed (deterministic failures are never retried;
+    environmental ones are, up to the sweep's retry budget).
+``events.log`` / ``commits.log``
+    append-only (``O_APPEND``) journals of worker-side events and
+    commits. Readers skip a torn final line (a writer died mid-append).
+``STOP``
+    written by the coordinator on completion, abort, or SIGTERM;
+    workers exit when they see it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: bump when the lease-record layout changes (versioned like the
+#: repro-bundle schema); readers ignore records from other versions
+LEASE_VERSION = 1
+
+#: bump when the sweep document layout changes
+SWEEP_VERSION = 1
+
+#: fabric root override (default: ``<checkpoint dir>/fabric``)
+FABRIC_DIR_ENV = "REPRO_FABRIC_DIR"
+
+
+def default_fabric_root() -> Path:
+    env = os.environ.get(FABRIC_DIR_ENV)
+    if env:
+        return Path(env)
+    from repro.recovery.manifest import default_checkpoint_dir
+
+    return default_checkpoint_dir() / "fabric"
+
+
+def _write_atomic_json(path: Path, document: Dict[str, Any]) -> None:
+    """temp file + fsync + rename, same discipline as the manifest."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(document, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def read_json_tolerant(path: Path) -> Optional[Dict[str, Any]]:
+    """The parsed document, or None for missing/torn/non-dict files."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+class LeaseLost(Exception):
+    """The worker's lease was stolen (expired while it was stalled);
+    its result must not be committed."""
+
+
+@dataclass
+class Lease:
+    """A successfully claimed lease: the owner's handle on one cell."""
+
+    key: str
+    worker: str
+    token: str
+    ttl: float
+    path: Path
+    #: fd the lease was claimed with; heartbeats utime *this* so a
+    #: stolen-and-reclaimed lease file is never refreshed by the old owner
+    fd: int
+
+    def heartbeat(self) -> None:
+        try:
+            os.utime(self.fd)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+
+
+class HeartbeatThread:
+    """Background mtime bumper for one held lease. Touches nothing but
+    the lease fd, so it cannot perturb the simulation the main thread
+    is running."""
+
+    def __init__(self, lease: Lease, interval: float):
+        self.lease = lease
+        self.interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{lease.key[:8]}",
+            daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.lease.heartbeat()
+
+    def __enter__(self) -> "HeartbeatThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self._stop.set()
+        self._thread.join(timeout=5)
+        return False
+
+
+class FabricDir:
+    """One sweep's shared fabric directory (see module docstring)."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.leases = self.root / "leases"
+        self.results = self.root / "results"
+        self.failures = self.root / "failures"
+        self.sweep_path = self.root / "sweep.json"
+        self.events_path = self.root / "events.log"
+        self.commits_path = self.root / "commits.log"
+        self.stop_path = self.root / "STOP"
+
+    def init(self) -> None:
+        for directory in (self.root, self.leases, self.results,
+                          self.failures):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- sweep document -------------------------------------------------
+    def publish_sweep(self, document: Dict[str, Any]) -> None:
+        document = dict(document, version=SWEEP_VERSION)
+        _write_atomic_json(self.sweep_path, document)
+
+    def read_sweep(self) -> Optional[Dict[str, Any]]:
+        document = read_json_tolerant(self.sweep_path)
+        if document is None or document.get("version") != SWEEP_VERSION:
+            return None
+        return document
+
+    # -- leases ---------------------------------------------------------
+    def lease_path(self, key: str) -> Path:
+        return self.leases / f"{key}.json"
+
+    def claim(self, key: str, worker: str, ttl: float) -> Optional[Lease]:
+        """Claim the lease on ``key`` for ``worker``; None if held.
+
+        ``O_CREAT|O_EXCL`` guarantees exactly one winner per lease file
+        lifetime; the written record is the versioned lease schema."""
+        path = self.lease_path(key)
+        token = f"{worker}:{os.getpid()}:{time.monotonic_ns()}"
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
+        except FileExistsError:
+            return None
+        record = {
+            "version": LEASE_VERSION,
+            "key": key,
+            "worker": worker,
+            "pid": os.getpid(),
+            "token": token,
+            "granted_at": time.time(),
+            "ttl": ttl,
+        }
+        try:
+            os.write(fd, json.dumps(record, sort_keys=True).encode())
+            os.fsync(fd)
+        except OSError:
+            pass  # a torn record still expires by mtime
+        return Lease(key=key, worker=worker, token=token, ttl=ttl,
+                     path=path, fd=fd)
+
+    def read_lease(self, key: str) -> Optional[Dict[str, Any]]:
+        """The lease record, or None for absent/torn/foreign-version
+        records (a torn record names no owner but still holds the
+        cell until its mtime expires)."""
+        record = read_json_tolerant(self.lease_path(key))
+        if record is None or record.get("version") != LEASE_VERSION:
+            return None
+        return record
+
+    def lease_age(self, key: str) -> Optional[float]:
+        """Seconds since the lease was last heartbeat; None if absent."""
+        try:
+            return max(0.0, time.time() - self.lease_path(key).stat().st_mtime)
+        except OSError:
+            return None
+
+    def lease_expired(self, key: str, default_ttl: float) -> bool:
+        age = self.lease_age(key)
+        if age is None:
+            return False
+        record = self.read_lease(key)
+        ttl = default_ttl
+        if record is not None and isinstance(record.get("ttl"), (int, float)):
+            ttl = float(record["ttl"])
+        return age > ttl
+
+    def owns(self, lease: Lease) -> bool:
+        record = self.read_lease(lease.key)
+        return record is not None and record.get("token") == lease.token
+
+    def release(self, lease: Lease) -> bool:
+        """Drop a held lease; refuses to unlink a lease that was stolen
+        and re-claimed by someone else. Returns True when removed."""
+        removed = False
+        if self.owns(lease):
+            try:
+                lease.path.unlink()
+                removed = True
+            except OSError:
+                pass
+        lease.close()
+        return removed
+
+    def steal(self, key: str) -> bool:
+        """Remove an (expired) lease so the cell can be re-claimed.
+        Unlink is atomic: when several parties race, exactly one
+        observes the removal. Coordinator-only by protocol."""
+        try:
+            self.lease_path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def live_leases(self) -> List[str]:
+        if not self.leases.is_dir():
+            return []
+        return sorted(p.stem for p in self.leases.glob("*.json"))
+
+    # -- results --------------------------------------------------------
+    def result_path(self, key: str) -> Path:
+        return self.results / f"{key}.json"
+
+    def has_result(self, key: str) -> bool:
+        return self.result_path(key).exists()
+
+    def commit_result(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Exactly-once commit of one cell result.
+
+        The document (same layout + digest as a result-cache entry) is
+        fsynced to a temp file, then *hard-linked* into place —
+        ``os.link`` raises ``EEXIST`` for every committer but the
+        first, so two workers racing the same cell can never tear or
+        duplicate the committed entry. Returns False for the losers."""
+        from repro.experiments.cache import payload_digest
+
+        path = self.result_path(key)
+        if path.exists():
+            return False
+        document = {"result": payload, "key": key,
+                    "digest": payload_digest(payload)}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(document, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            try:
+                os.link(tmp, path)
+                return True
+            except FileExistsError:
+                return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def read_result(self, key: str) -> Optional[Dict[str, Any]]:
+        """The committed document (caller verifies the digest)."""
+        return read_json_tolerant(self.result_path(key))
+
+    def quarantine_result(self, key: str) -> Optional[Path]:
+        """Move a corrupt committed result aside (evidence survives,
+        the cell becomes pending again)."""
+        path = self.result_path(key)
+        dest = self.root / "quarantine" / path.name
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            path.replace(dest)
+            return dest
+        except OSError:
+            return None
+
+    # -- failures -------------------------------------------------------
+    def failure_path(self, key: str) -> Path:
+        return self.failures / f"{key}.json"
+
+    def read_failure(self, key: str) -> Optional[Dict[str, Any]]:
+        return read_json_tolerant(self.failure_path(key))
+
+    def record_failure(self, key: str, failure: Dict[str, Any]) -> int:
+        """Persist one failed attempt; returns the new attempt count.
+        Only the lease owner executes a cell, so attempts never race."""
+        previous = self.read_failure(key)
+        attempts = (previous.get("attempts", 0) if previous else 0) + 1
+        _write_atomic_json(self.failure_path(key), {
+            "version": LEASE_VERSION,
+            "key": key,
+            "attempts": attempts,
+            "failure": failure,
+        })
+        return attempts
+
+    def failure_settled(self, key: str, retries: int) -> bool:
+        """True when the cell's failure is final: deterministic (same
+        seed would fail identically) or out of environmental retries."""
+        record = self.read_failure(key)
+        if record is None:
+            return False
+        failure = record.get("failure") or {}
+        if failure.get("classification") == "deterministic":
+            return True
+        return record.get("attempts", 0) > retries
+
+    # -- journals -------------------------------------------------------
+    def append_event(self, event: str, **fields: Any) -> None:
+        record = dict(fields, ev=event, t=round(time.time(), 6))
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            fd = os.open(self.events_path, os.O_CREAT | os.O_APPEND
+                         | os.O_WRONLY, 0o644)
+            try:
+                os.write(fd, line.encode())
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def read_events(self, offset: int = 0) -> Tuple[int, List[Dict[str, Any]]]:
+        """Events appended since ``offset``; returns (new_offset, events).
+
+        Only complete lines are consumed — a torn final line (writer
+        died mid-append) stays unconsumed until its writer... never
+        finishes it, at which point it is permanently skipped; the
+        journal is observability, not the source of truth."""
+        try:
+            with open(self.events_path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except OSError:
+            return offset, []
+        end = data.rfind(b"\n")
+        if end < 0:
+            return offset, []
+        out = []
+        for line in data[:end + 1].splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+        return offset + end + 1, out
+
+    def append_commit(self, key: str, worker: str) -> None:
+        line = f"{key}\t{worker}\t{os.getpid()}\n"
+        try:
+            fd = os.open(self.commits_path, os.O_CREAT | os.O_APPEND
+                         | os.O_WRONLY, 0o644)
+            try:
+                os.write(fd, line.encode())
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def read_commits(self) -> List[Tuple[str, str]]:
+        """(cell_key, worker) per committed cell, journal order."""
+        try:
+            text = self.commits_path.read_text()
+        except OSError:
+            return []
+        out = []
+        for line in text.splitlines():
+            parts = line.split("\t")
+            if len(parts) == 3:
+                out.append((parts[0], parts[1]))
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+    def write_stop(self, reason: str) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.stop_path.write_text(reason + "\n")
+        except OSError:
+            pass
+
+    def stopped(self) -> Optional[str]:
+        try:
+            return self.stop_path.read_text().strip()
+        except OSError:
+            return None
+
+    def clear_stop(self) -> None:
+        self.stop_path.unlink(missing_ok=True)
+
+
+def iter_fabric_dirs(root: Optional[os.PathLike] = None) -> Iterator[FabricDir]:
+    """Every sweep fabric directory under ``root`` (for ``fabric
+    status``)."""
+    root = Path(root) if root is not None else default_fabric_root()
+    if not root.is_dir():
+        return
+    for path in sorted(root.iterdir()):
+        if path.is_dir() and (path / "sweep.json").exists():
+            yield FabricDir(path)

@@ -1,0 +1,217 @@
+"""Local worker fleet supervision: spawn, respawn, circuit-break.
+
+The supervisor owns N worker *slots*. Each slot runs ``python -m
+repro.fabric.worker`` pointed at the sweep's fabric directory, with
+stdout/stderr captured to ``workers/<name>.log``. The policy:
+
+- a slot whose process exits cleanly (``EXIT_OK``) after the sweep
+  settled is simply done;
+- a slot whose process dies (signal, nonzero exit) is respawned with
+  exponential backoff (``backoff_base * 2**consecutive_failures``,
+  capped), because worker death is an expected event in this design;
+- a slot that keeps dying *without committing anything in between*
+  trips its crash-loop circuit breaker after
+  ``circuit_threshold`` consecutive unproductive deaths and stops
+  being respawned — a worker crashing on the same cell forever must
+  not burn the machine. Progress (any new commit attributed to the
+  slot's worker name) resets the count.
+
+The supervisor never talks to workers except by signal; all sweep
+state flows through the fabric directory, so replacing this module
+with an ssh/k8s spawner changes nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fabric.lease import FabricDir
+
+
+@dataclass
+class WorkerSlot:
+    """One supervised worker position in the fleet."""
+
+    name: str
+    proc: Optional[subprocess.Popen] = None
+    log: Optional[Any] = None
+    spawns: int = 0
+    consecutive_failures: int = 0
+    respawn_at: Optional[float] = None
+    circuit_open: bool = False
+    #: commits attributed to this slot's worker name at last death,
+    #: to distinguish productive deaths from crash loops
+    commits_at_death: int = 0
+    exited_clean: bool = False
+    last_exit: Optional[int] = None
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class Supervisor:
+    """Spawn/respawn the local fleet for one fabric directory."""
+
+    def __init__(
+        self,
+        fabric_dir: FabricDir,
+        workers: int,
+        poll_interval: float = 0.05,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+        circuit_threshold: int = 5,
+        extra_env: Optional[Dict[str, str]] = None,
+    ):
+        self.dir = fabric_dir
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.circuit_threshold = circuit_threshold
+        self.extra_env = dict(extra_env or {})
+        self.slots = [WorkerSlot(name=f"w{i}") for i in range(workers)]
+        self.log_dir = self.dir.root / "workers"
+
+    # -- spawning -------------------------------------------------------
+    def _spawn(self, slot: WorkerSlot) -> None:
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        if slot.log is None:
+            slot.log = open(self.log_dir / f"{slot.name}.log", "ab")
+        env = dict(os.environ, **self.extra_env)
+        src_root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p)
+        slot.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.fabric.worker",
+             "--dir", str(self.dir.root),
+             "--name", slot.name,
+             "--poll", str(self.poll_interval)],
+            env=env, stdout=slot.log, stderr=slot.log,
+        )
+        slot.spawns += 1
+        slot.respawn_at = None
+
+    def start_all(self) -> None:
+        for slot in self.slots:
+            self._spawn(slot)
+
+    # -- monitoring -----------------------------------------------------
+    def poll(self, commits_by_worker: Dict[str, int],
+             sweep_done: bool = False) -> List[Tuple[str, str, Any]]:
+        """One supervision pass; returns ``(event, worker, detail)``
+        tuples (worker deaths, respawns, circuit trips) for the
+        coordinator's stats and trace stream."""
+        events: List[Tuple[str, str, Any]] = []
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.circuit_open or slot.exited_clean:
+                continue
+            if slot.proc is not None and slot.proc.poll() is not None:
+                code = slot.proc.returncode
+                slot.last_exit = code
+                slot.proc = None
+                if code == 0:
+                    slot.exited_clean = True
+                    continue
+                commits = commits_by_worker.get(slot.name, 0)
+                if commits > slot.commits_at_death:
+                    slot.consecutive_failures = 1  # productive: reset
+                else:
+                    slot.consecutive_failures += 1
+                slot.commits_at_death = commits
+                events.append(("worker.death", slot.name, code))
+                if slot.consecutive_failures >= self.circuit_threshold:
+                    slot.circuit_open = True
+                    events.append(("worker.circuit_open", slot.name,
+                                   slot.consecutive_failures))
+                    continue
+                backoff = min(
+                    self.backoff_cap,
+                    self.backoff_base
+                    * (2 ** (slot.consecutive_failures - 1)))
+                slot.respawn_at = now + backoff
+            if (slot.proc is None and slot.respawn_at is not None
+                    and now >= slot.respawn_at and not sweep_done):
+                self._spawn(slot)
+                events.append(("worker.respawn", slot.name, slot.spawns))
+        return events
+
+    def live_workers(self) -> int:
+        return sum(1 for slot in self.slots if slot.alive())
+
+    def pending_respawns(self) -> int:
+        return sum(1 for slot in self.slots
+                   if slot.proc is None and slot.respawn_at is not None
+                   and not slot.circuit_open)
+
+    def all_circuits_open(self) -> bool:
+        return bool(self.slots) and all(
+            slot.circuit_open for slot in self.slots)
+
+    def fleet_dead(self) -> bool:
+        """No live worker, none scheduled to come back."""
+        return self.live_workers() == 0 and self.pending_respawns() == 0
+
+    # -- chaos hooks ----------------------------------------------------
+    def signal_slot(self, index: int, signum: int) -> bool:
+        """Deliver ``signum`` to one live worker (the chaos drill's
+        kill/stall lever). Returns True when delivered."""
+        slot = self.slots[index % len(self.slots)]
+        if not slot.alive():
+            return False
+        try:
+            slot.proc.send_signal(signum)
+            return True
+        except OSError:
+            return False
+
+    def live_slot_indices(self) -> List[int]:
+        return [i for i, slot in enumerate(self.slots) if slot.alive()]
+
+    # -- shutdown -------------------------------------------------------
+    def shutdown(self, grace: float = 5.0) -> None:
+        """SIGTERM the fleet, SIGKILL stragglers after ``grace``."""
+        for slot in self.slots:
+            if slot.alive():
+                try:
+                    slot.proc.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + grace
+        for slot in self.slots:
+            if slot.proc is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                slot.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    slot.proc.send_signal(signal.SIGCONT)  # un-stall first
+                    slot.proc.kill()
+                    slot.proc.wait(timeout=5)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+        for slot in self.slots:
+            if slot.log is not None:
+                try:
+                    slot.log.close()
+                except OSError:
+                    pass
+                slot.log = None
+
+    def kill_all(self) -> None:
+        """Immediate SIGKILL (the coordinator's signal handler — must
+        not block)."""
+        for slot in self.slots:
+            if slot.alive():
+                try:
+                    slot.proc.send_signal(signal.SIGCONT)
+                    slot.proc.kill()
+                except OSError:
+                    pass

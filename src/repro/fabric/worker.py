@@ -1,0 +1,236 @@
+"""Fabric worker: claim a lease, execute the cell, commit, repeat.
+
+A worker is a plain process pointed at a fabric directory (``python -m
+repro.fabric.worker --dir DIR --name w0``) — the supervisor spawns them
+locally, but nothing here assumes a shared machine, only a shared
+filesystem. The loop:
+
+1. read ``sweep.json`` and refuse to run if its code fingerprint does
+   not match this worker's own code (a recovered worker from an old
+   deploy must not commit stale results);
+2. scan cells in sweep order; claim the first one that has no result,
+   no settled failure, and no lease (``O_EXCL`` — exactly one winner);
+3. execute the cell through the standard single-cell entrypoint
+   (:func:`repro.experiments.matrix.execute_cell`): same
+   ``REPRO_CELL_TIMEOUT``/``REPRO_CELL_RETRIES`` budgets, fault plans,
+   sanitizer and ``REPRO_EXEC_LOG`` accounting as any matrix cell,
+   with a heartbeat thread bumping the lease mtime throughout;
+4. commit the result — exactly once via the hard-link protocol — into
+   the fabric results directory *and* the shared
+   :class:`~repro.experiments.cache.ResultCache`, then release the
+   lease. A worker that was stalled long enough for the coordinator to
+   steal its lease discards its result instead (``commit.lost``): the
+   cell's new owner is authoritative.
+
+Worker death at ANY point of this loop is safe: an unreleased lease
+expires by mtime and is re-leased; a half-written commit can never be
+observed (hard-link is all-or-nothing); a half-appended journal line is
+skipped by readers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.experiments.cache import (
+    code_fingerprint, default_cache, result_to_payload,
+)
+from repro.experiments.matrix import (
+    RunRequest, execute_cell, resolve_cell_retries, resolve_cell_timeout,
+)
+from repro.fabric.lease import FabricDir, HeartbeatThread, Lease
+
+#: exit codes (distinct so the supervisor can tell them apart)
+EXIT_OK = 0
+EXIT_NO_SWEEP = 2
+EXIT_FINGERPRINT = 3
+
+
+class Worker:
+    """One claim/execute/commit loop over a fabric directory."""
+
+    def __init__(self, root: os.PathLike, name: str,
+                 poll_interval: float = 0.05,
+                 sweep_wait: float = 30.0):
+        self.dir = FabricDir(root)
+        self.name = name
+        self.poll_interval = poll_interval
+        self.sweep_wait = sweep_wait
+        self.cells: List[Dict[str, Any]] = []
+        self.ttl = 5.0
+        self.cell_timeout: Optional[float] = None
+        self.retries = 2
+        self.cache = default_cache()
+        self.committed = 0
+
+    # -- setup ----------------------------------------------------------
+    def load_sweep(self) -> int:
+        """Adopt the published sweep; 0 on success, else an exit code."""
+        deadline = time.monotonic() + self.sweep_wait
+        document = None
+        while time.monotonic() < deadline:
+            document = self.dir.read_sweep()
+            if document is not None:
+                break
+            if self.dir.stopped() is not None:
+                return EXIT_OK
+            time.sleep(self.poll_interval)
+        if document is None:
+            print(f"[{self.name}] no sweep.json under {self.dir.root}",
+                  file=sys.stderr)
+            return EXIT_NO_SWEEP
+        if document.get("fingerprint") != code_fingerprint():
+            # stale worker (old code) must not poison the sweep
+            print(f"[{self.name}] code fingerprint mismatch: sweep "
+                  f"{document.get('fingerprint')} != local "
+                  f"{code_fingerprint()}", file=sys.stderr)
+            return EXIT_FINGERPRINT
+        self.cells = list(document.get("cells", []))
+        self.ttl = float(document.get("ttl", 5.0))
+        self.cell_timeout = resolve_cell_timeout(
+            document.get("cell_timeout"))
+        self.retries = resolve_cell_retries(document.get("retries"))
+        return EXIT_OK
+
+    # -- loop -----------------------------------------------------------
+    def _claimable(self, key: str) -> bool:
+        if self.dir.has_result(key):
+            return False
+        if self.dir.failure_settled(key, self.retries):
+            return False
+        # live (or expired-but-not-yet-stolen) leases are skipped;
+        # only the coordinator removes expired leases, so two workers
+        # never disagree about who may re-claim a dead worker's cell
+        if self.dir.lease_age(key) is not None:
+            return False
+        return True
+
+    def _next_cell(self) -> Optional[Lease]:
+        for cell in self.cells:
+            key = cell["key"]
+            if not self._claimable(key):
+                continue
+            lease = self.dir.claim(key, self.name, self.ttl)
+            if lease is not None:
+                return lease
+        return None
+
+    def _settled(self) -> bool:
+        return all(
+            self.dir.has_result(cell["key"])
+            or self.dir.failure_settled(cell["key"], self.retries)
+            for cell in self.cells
+        )
+
+    def _spec_for(self, key: str) -> Dict[str, Any]:
+        for cell in self.cells:
+            if cell["key"] == key:
+                return cell["spec"]
+        raise ConfigError(f"lease {key} names no sweep cell")
+
+    def run_cell(self, lease: Lease) -> None:
+        """Execute one leased cell and commit/record the outcome."""
+        self.dir.append_event("lease.grant", key=lease.key,
+                              worker=self.name)
+        request = RunRequest.from_spec(self._spec_for(lease.key))
+        with HeartbeatThread(lease, interval=self.ttl / 4.0):
+            result, failure = execute_cell(request, self.cell_timeout)
+        if result is not None:
+            if not self.dir.owns(lease):
+                # stalled past our TTL: the coordinator re-leased the
+                # cell, its new owner is authoritative — discard
+                self.dir.append_event("commit.lost", key=lease.key,
+                                      worker=self.name, reason="lease-lost")
+            elif self.dir.commit_result(lease.key,
+                                        result_to_payload(result)):
+                self.committed += 1
+                self.dir.append_commit(lease.key, self.name)
+                self.dir.append_event("cell.commit", key=lease.key,
+                                      worker=self.name)
+                self._mirror_to_cache(request, result)
+            else:
+                self.dir.append_event("commit.lost", key=lease.key,
+                                      worker=self.name, reason="duplicate")
+        else:
+            attempts = self.dir.record_failure(lease.key, failure)
+            self.dir.append_event(
+                "cell.fail", key=lease.key, worker=self.name,
+                attempts=attempts,
+                type=failure.get("type"),
+                classification=failure.get("classification"))
+        released = self.dir.release(lease)
+        self.dir.append_event("lease.release", key=lease.key,
+                              worker=self.name, owned=released)
+
+    def _mirror_to_cache(self, request: RunRequest, result) -> None:
+        """Best-effort mirror into the shared result cache (the fabric
+        results directory stays authoritative; cache I/O must never
+        fail a committed cell)."""
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(self.cache.key_for(request.spec()), result)
+        except Exception:
+            pass
+
+    def run(self) -> int:
+        status = self.load_sweep()
+        if status != EXIT_OK or not self.cells:
+            return status
+        self.dir.append_event("worker.start", worker=self.name,
+                              pid=os.getpid())
+        lease = None
+        try:
+            while True:
+                if self.dir.stopped() is not None:
+                    break
+                lease = self._next_cell()
+                if lease is not None:
+                    self.run_cell(lease)
+                    lease = None
+                    continue
+                if self._settled():
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            if lease is not None:
+                self.dir.release(lease)
+            self.dir.append_event("worker.exit", worker=self.name,
+                                  pid=os.getpid(),
+                                  committed=self.committed)
+        return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric.worker",
+        description="fabric worker loop: claim leases from a shared "
+                    "fabric directory and execute sweep cells")
+    parser.add_argument("--dir", required=True,
+                        help="the sweep's fabric directory")
+    parser.add_argument("--name", default=f"w{os.getpid()}",
+                        help="worker name (lease records, journals)")
+    parser.add_argument("--poll", type=float, default=0.05,
+                        help="idle poll interval, seconds")
+    parser.add_argument("--sweep-wait", type=float, default=30.0,
+                        help="seconds to wait for sweep.json to appear")
+    opts = parser.parse_args(argv)
+
+    def _term(_signum, _frame):
+        raise SystemExit(EXIT_OK)
+
+    signal.signal(signal.SIGTERM, _term)
+    worker = Worker(opts.dir, opts.name, poll_interval=opts.poll,
+                    sweep_wait=opts.sweep_wait)
+    return worker.run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

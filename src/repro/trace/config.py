@@ -18,6 +18,7 @@ CATEGORIES: Tuple[str, ...] = (
     "cp",        # Command Processor: context switches, log drains, spills
     "mem",       # memory-op counts (counts only; no per-op ring events)
     "engine",    # scheduler health: peak pending, lane hit ratio, compactions
+    "fabric",    # sweep fleet: lease grants/expiries/steals, worker deaths
 )
 
 

@@ -309,6 +309,91 @@ def test_verify_flags_pre_digest_entries(cache):
     assert "pre-digest" in report.corrupt[0]["problem"]
 
 
+# ---------------------------------------------------------------------------
+# concurrent writers (satellite: the O_EXCL per-key writer claim)
+# ---------------------------------------------------------------------------
+
+_PUT_RIVAL = """\
+import sys
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import RunResult
+
+root, key = sys.argv[1], sys.argv[2]
+result = RunResult(
+    benchmark="SPM_G", policy="AWG", scenario="quick",
+    cycles=7, completed=True, deadlocked=False, reason="completed",
+    atomics=0, waiting_atomics=0, context_switches=0,
+    wg_running_cycles=0, wg_waiting_cycles=0,
+)
+cache = ResultCache(root, fingerprint="fp0")
+for _ in range(25):
+    cache.put(key, result)
+"""
+
+
+def test_put_skips_while_a_rival_holds_the_claim(cache):
+    """Entries are content-addressed, so the loser of the claim race
+    skips the write entirely instead of re-renaming identical bytes."""
+    key = "a1" + "0" * 62
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    claim = path.with_name(f".{path.name}.claim")
+    claim.write_text("")  # a live rival mid-write
+    cache.put(key, _simple_result())
+    assert cache.get(key) is None  # skipped, rival owns the slot
+    assert cache.contended == 1 and cache.stores == 0
+    claim.unlink()
+    cache.put(key, _simple_result())
+    assert cache.get(key).cycles == 1
+    assert cache.stores == 1
+
+
+def test_put_breaks_a_stale_claim_from_a_dead_writer(cache):
+    import os
+    import time
+
+    from repro.experiments.cache import _CLAIM_TTL
+
+    key = "b2" + "0" * 62
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    claim = path.with_name(f".{path.name}.claim")
+    claim.write_text("")
+    stale = time.time() - _CLAIM_TTL - 10
+    os.utime(claim, (stale, stale))
+    cache.put(key, _simple_result(cycles=3))
+    assert cache.get(key).cycles == 3  # the orphaned claim was broken
+    assert cache.contended == 0
+    assert not claim.exists()
+
+
+def test_concurrent_puts_leave_one_intact_entry(cache, tmp_path):
+    """Multiprocess stress: rival writers hammering one key must end
+    with exactly one intact entry and zero claim/temp residue."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    key = "c3" + "0" * 62
+    rivals = [
+        subprocess.Popen([sys.executable, "-c", _PUT_RIVAL,
+                          str(cache.root), key], env=env)
+        for _ in range(6)
+    ]
+    for proc in rivals:
+        assert proc.wait(timeout=60) == 0
+    assert cache.get(key).cycles == 7
+    assert cache.verify().clean
+    residue = [p.name for p in cache._path(key).parent.iterdir()
+               if p.name != f"{key}.json"]
+    assert residue == [], f"leftover claim/temp files: {residue}"
+
+
 def test_cli_cache_verify_exits_nonzero_on_corruption(tmp_path, monkeypatch):
     from repro.cli import main
 

@@ -54,6 +54,37 @@ def test_hung_cell_times_out_in_process_too():
     assert matrix[1].ok
 
 
+def test_hung_cell_times_out_off_the_main_thread():
+    """Regression: SIGALRM only arms on the main thread, and the old
+    code silently ran with NO timeout anywhere else (signal.signal
+    raises ValueError off-main, which was swallowed) — a hung cell
+    would wedge any embedding that drives run_matrix from a thread,
+    fabric workers included. The subprocess fallback must bound it."""
+    import threading
+    import time
+
+    box = {}
+
+    def _drive():
+        box["matrix"] = run_matrix(
+            [_req("_HANG"), _req("SPM_G")], jobs=1, cache=None,
+            cell_timeout=2, retries=0)
+
+    start = time.monotonic()
+    thread = threading.Thread(target=_drive)
+    thread.start()
+    thread.join(timeout=60)
+    assert not thread.is_alive(), \
+        "run_matrix hung: the cell timeout never fired off-main-thread"
+    assert time.monotonic() - start < 60
+    matrix = box["matrix"]
+    failure = matrix.cells[0].failure
+    assert failure["type"] == "CellTimeoutError"
+    assert failure["classification"] == "environmental"
+    assert "subprocess fallback" in failure["message"]
+    assert matrix[1].ok  # the sweep survives and runs the next cell
+
+
 # ---------------------------------------------------------------------------
 # killed workers (BrokenProcessPool recovery)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""The seeded chaos drill, run end to end as a test.
+
+This is the fabric's capstone check: a real fleet survives a
+coordinator SIGTERM + resume, a SIGKILLed worker, a SIGSTOP stall past
+the lease TTL and the ``_KILL`` stress drill, and still produces
+results bit-identical to a single-process run with exactly-once
+commits. One drill takes ~10s, so it runs once here and the individual
+protocol pieces get their fast coverage in test_lease.py.
+"""
+
+import pytest
+
+from repro.fabric.chaos import DRILL_BENCHES, drill_requests, run_drill
+
+
+def test_drill_requests_cover_the_stress_kill_bench():
+    requests = drill_requests()
+    assert [r.benchmark for r in requests] == list(DRILL_BENCHES)
+    assert DRILL_BENCHES[-1] == "_KILL"  # armed last, faults first
+
+
+@pytest.mark.slow
+def test_chaos_drill_passes(tmp_path):
+    report = run_drill(workers=3, seed=1, scratch=tmp_path / "drill")
+    assert report.ok, "\n".join(report.problems)
+    assert report.stats.get("fabric.lease.stolen", 0) >= 1
+    assert report.stats.get("fabric.worker.deaths", 0) >= 2
+    assert report.render()

@@ -1,0 +1,192 @@
+"""Unit tests of the fabric's on-disk protocol (repro.fabric.lease).
+
+The invariants drilled here are what the chaos drill relies on end to
+end: exactly-one claim winner, mtime-driven expiry immune to a stolen
+lease's stale heartbeats, exactly-once result commits, and journal
+readers that skip torn tails.
+"""
+
+import json
+import os
+import time
+
+from repro.fabric.lease import LEASE_VERSION, FabricDir
+
+
+def _dir(tmp_path) -> FabricDir:
+    fabric = FabricDir(tmp_path / "fab")
+    fabric.init()
+    return fabric
+
+
+def _age_lease(fabric, key, seconds):
+    """Backdate a lease's mtime (simulates a silent worker)."""
+    path = fabric.lease_path(key)
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+# -- claims -----------------------------------------------------------
+
+def test_claim_has_exactly_one_winner(tmp_path):
+    fabric = _dir(tmp_path)
+    first = fabric.claim("cell", "w0", ttl=5.0)
+    assert first is not None
+    assert fabric.claim("cell", "w1", ttl=5.0) is None
+    record = fabric.read_lease("cell")
+    assert record["version"] == LEASE_VERSION
+    assert record["worker"] == "w0"
+    assert record["token"] == first.token
+    assert fabric.owns(first)
+    first.close()
+
+
+def test_release_removes_only_owned_leases(tmp_path):
+    fabric = _dir(tmp_path)
+    lease = fabric.claim("cell", "w0", ttl=5.0)
+    assert fabric.release(lease) is True
+    assert fabric.read_lease("cell") is None
+    # stolen and re-claimed: the old owner must NOT unlink the new
+    # owner's lease
+    old = fabric.claim("cell", "w0", ttl=5.0)
+    assert fabric.steal("cell")
+    fresh = fabric.claim("cell", "w1", ttl=5.0)
+    assert not fabric.owns(old)
+    assert fabric.release(old) is False
+    assert fabric.read_lease("cell")["worker"] == "w1"
+    fresh.close()
+
+
+def test_stale_heartbeat_cannot_refresh_a_stolen_lease(tmp_path):
+    """The heartbeat goes through the claim fd; after a steal that fd
+    points at the orphaned inode, so the thief's fresh lease file keeps
+    its own mtime."""
+    fabric = _dir(tmp_path)
+    old = fabric.claim("cell", "w0", ttl=5.0)
+    assert fabric.steal("cell")
+    fresh = fabric.claim("cell", "w1", ttl=5.0)
+    _age_lease(fabric, "cell", 100.0)
+    before = fabric.lease_age("cell")
+    old.heartbeat()  # stalled worker wakes up and heartbeats blindly
+    assert fabric.lease_age("cell") >= before - 1.0  # not refreshed
+    old.close()
+    fresh.close()
+
+
+def test_expiry_is_mtime_driven_and_prefers_the_record_ttl(tmp_path):
+    fabric = _dir(tmp_path)
+    lease = fabric.claim("cell", "w0", ttl=5.0)
+    assert not fabric.lease_expired("cell", default_ttl=5.0)
+    _age_lease(fabric, "cell", 10.0)
+    assert fabric.lease_expired("cell", default_ttl=5.0)
+    lease.close()
+    fabric.steal("cell")
+    # the record's own ttl wins over the caller's default
+    tight = fabric.claim("cell", "w0", ttl=0.5)
+    _age_lease(fabric, "cell", 2.0)
+    assert fabric.lease_expired("cell", default_ttl=100.0)
+    tight.close()
+
+
+def test_torn_lease_record_names_no_owner_but_still_expires(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.lease_path("cell").write_text('{"version": 1, "worker": "w')
+    assert fabric.read_lease("cell") is None  # torn: skipped
+    assert fabric.lease_age("cell") is not None  # but it holds the cell
+    _age_lease(fabric, "cell", 10.0)
+    assert fabric.lease_expired("cell", default_ttl=5.0)
+    assert fabric.steal("cell")
+
+
+def test_foreign_version_lease_is_ignored(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.lease_path("cell").write_text(
+        json.dumps({"version": LEASE_VERSION + 1, "worker": "w9"}))
+    assert fabric.read_lease("cell") is None
+
+
+# -- commits ----------------------------------------------------------
+
+def test_commit_result_is_exactly_once(tmp_path):
+    fabric = _dir(tmp_path)
+    payload = {"benchmark": "SPM_G", "cycles": 123}
+    assert fabric.commit_result("cell", payload) is True
+    assert fabric.commit_result("cell", {"benchmark": "rival"}) is False
+    document = fabric.read_result("cell")
+    assert document["result"] == payload
+    assert document["key"] == "cell"
+    # no temp residue from either committer
+    assert [p.name for p in fabric.results.iterdir()] == ["cell.json"]
+
+
+def test_quarantine_makes_the_cell_pending_again(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.commit_result("cell", {"cycles": 1})
+    dest = fabric.quarantine_result("cell")
+    assert dest is not None and dest.exists()
+    assert not fabric.has_result("cell")
+    assert fabric.commit_result("cell", {"cycles": 1}) is True
+
+
+# -- failures ---------------------------------------------------------
+
+def test_failure_settles_deterministic_immediately(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.record_failure("cell", {"classification": "deterministic"})
+    assert fabric.failure_settled("cell", retries=99)
+
+
+def test_environmental_failure_settles_after_retries(tmp_path):
+    fabric = _dir(tmp_path)
+    for attempt in (1, 2):
+        assert fabric.record_failure(
+            "cell", {"classification": "environmental"}) == attempt
+        assert not fabric.failure_settled("cell", retries=2)
+    fabric.record_failure("cell", {"classification": "environmental"})
+    assert fabric.failure_settled("cell", retries=2)
+
+
+# -- journals ---------------------------------------------------------
+
+def test_event_journal_skips_torn_tail(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.append_event("lease.grant", key="a")
+    offset, events = fabric.read_events(0)
+    assert [e["ev"] for e in events] == ["lease.grant"]
+    # a writer died mid-append: the torn fragment is never parsed as an
+    # event, and later complete lines still flow
+    with open(fabric.events_path, "ab") as fh:
+        fh.write(b'{"ev": "cell.com')
+    offset2, events2 = fabric.read_events(offset)
+    assert events2 == [] and offset2 == offset
+    fabric.append_event("worker.exit", worker="w0")
+    _offset3, events3 = fabric.read_events(offset2)
+    # the fragment merged into an unparseable line and was skipped
+    assert all(e["ev"] != "cell.com" for e in events3)
+
+
+def test_commit_journal_roundtrip_ignores_torn_lines(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.append_commit("cell-a", "w0")
+    with open(fabric.commits_path, "a") as fh:
+        fh.write("cell-b\tw1")  # torn: no pid column, no newline
+    assert fabric.read_commits() == [("cell-a", "w0")]
+
+
+# -- sweep / stop -----------------------------------------------------
+
+def test_sweep_document_roundtrip_and_version_gate(tmp_path):
+    fabric = _dir(tmp_path)
+    fabric.publish_sweep({"cells": [], "fingerprint": "fp"})
+    assert fabric.read_sweep()["fingerprint"] == "fp"
+    fabric.sweep_path.write_text(json.dumps({"version": 999}))
+    assert fabric.read_sweep() is None
+
+
+def test_stop_file_lifecycle(tmp_path):
+    fabric = _dir(tmp_path)
+    assert fabric.stopped() is None
+    fabric.write_stop("sweep settled")
+    assert fabric.stopped() == "sweep settled"
+    fabric.clear_stop()
+    assert fabric.stopped() is None

@@ -105,6 +105,80 @@ def test_torn_completed_entry_is_skipped_not_adopted(tmp_path):
     assert again.get(key) is None  # the torn cell re-simulates
 
 
+_RIVAL_RECORDER = """\
+import sys
+from repro.experiments.runner import RunResult
+from repro.recovery.manifest import SweepCheckpoint, cell_key
+
+root, which, cycles = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+SPECS = [
+    {"benchmark": "SPM_G", "policy": {"name": "AWG"}, "scenario": {"s": 1}},
+    {"benchmark": "FAM_G", "policy": {"name": "AWG"}, "scenario": {"s": 1}},
+    {"benchmark": "TB_LG", "policy": {"name": "AWG"}, "scenario": {"s": 1}},
+]
+result = RunResult(
+    benchmark=SPECS[which]["benchmark"], policy="AWG", scenario="quick",
+    cycles=cycles, completed=True, deadlocked=False, reason="completed",
+    atomics=1, waiting_atomics=0, context_switches=0,
+    wg_running_cycles=10, wg_waiting_cycles=2, stats={"x": 1.5},
+)
+for _ in range(15):
+    # re-open each round so each flush races the rival's AND adopts
+    # whatever the rival managed to land in between
+    ck = SweepCheckpoint.open(SPECS, root=root, fingerprint="fp0",
+                              flush_interval=0)
+    ck.record(cell_key(SPECS[which]), result)
+    ck.flush(force=True)
+"""
+
+
+def test_concurrent_appenders_and_torn_entry_skip(tmp_path):
+    """Two processes recording into the same sweep manifest (the fabric
+    coordinator restarting while an old one still flushes, or two
+    operators resuming the same sweep) must never tear it: every
+    observable manifest state parses, and after the dust settles a
+    tampered completed entry is digest-skipped while intact rival
+    entries are adopted."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    rivals = [
+        subprocess.Popen([sys.executable, "-c", _RIVAL_RECORDER,
+                          str(tmp_path), str(which), str(cycles)], env=env)
+        for which, cycles in ((0, 100), (2, 300))
+    ]
+    for proc in rivals:
+        assert proc.wait(timeout=60) == 0
+
+    # atomic replace means concurrent flushers can lose updates but
+    # never corrupt: the surviving manifest parses and carries at least
+    # the last flusher's cell
+    ck = SweepCheckpoint.open(SPECS, root=tmp_path, fingerprint="fp0")
+    assert ck.discarded is None
+    assert ck.resumed >= 1
+    adopted = [key for key in ck.keys if key in ck.completed]
+    assert adopted
+
+    # tamper one adopted entry: its digest-skip must not take the
+    # intact neighbours down with it
+    ck.flush(force=True)
+    document = json.loads(ck.path.read_text())
+    victim = adopted[0]
+    document["completed"][victim]["result"]["cycles"] = -1
+    ck.path.write_text(json.dumps(document))
+    again = SweepCheckpoint.open(SPECS, root=tmp_path, fingerprint="fp0")
+    assert again.discarded is None
+    assert again.get(victim) is None  # torn entry re-simulates
+    for key in adopted[1:]:
+        assert again.get(key) is not None  # intact ones are kept
+
+
 def test_unreadable_manifest_discards(tmp_path):
     ck = SweepCheckpoint.open(SPECS, root=tmp_path, fingerprint="fp0")
     ck.record(cell_key(SPECS[0]), _result())
