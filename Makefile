@@ -2,6 +2,10 @@
 #
 #   make test          tier-1 test suite
 #   make lint          static kernel linter over workloads/sync/examples
+#   make analyze       static progress table, diffed vs the committed
+#                      analysis-table.json golden
+#   make analyze-golden  re-baseline analysis-table.json after a
+#                        deliberate verdict change
 #   make bench         full figure-suite regeneration (pytest-benchmark)
 #   make bench-smoke   CI smoke: fig7 twice, asserts warm-run cache hits
 #   make bench-json    engine perf suite -> BENCH_<n>.json at repo root
@@ -23,8 +27,9 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-json bench-json-smoke \
-	faults-smoke trace-smoke recovery-smoke fabric-smoke clean-cache
+.PHONY: test lint analyze analyze-golden bench bench-smoke bench-json \
+	bench-json-smoke faults-smoke trace-smoke recovery-smoke \
+	fabric-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -32,6 +37,12 @@ test:
 lint:
 	$(PY) -m repro lint --baseline lint-baseline.json \
 		src/repro/workloads src/repro/sync examples
+
+analyze:
+	$(PY) -m repro analyze --golden analysis-table.json
+
+analyze-golden:
+	$(PY) -m repro analyze --write-golden analysis-table.json
 
 bench:
 	$(PY) -m pytest benchmarks -q

@@ -25,6 +25,9 @@ class Finding:
     message: str
     hint: str
     function: str = ""
+    #: line of the enclosing ``def`` (0 = not inside a kernel function);
+    #: a ``# repro: noqa[...]`` on that line suppresses the whole kernel.
+    def_line: int = 0
 
     def baseline_key(self) -> Dict[str, Any]:
         """The identity a baseline entry matches on."""
@@ -37,3 +40,9 @@ class Finding:
         where = f"{self.path}:{self.line}:{self.col}"
         tail = f" (hint: {self.hint})" if self.hint else ""
         return f"{where}: [{self.rule_id}] {self.severity}: {self.message}{tail}"
+
+    def render_github(self) -> str:
+        """One GitHub Actions workflow-command annotation line."""
+        level = "error" if self.severity == "error" else "warning"
+        return (f"::{level} file={self.path},line={self.line},"
+                f"col={self.col},title={self.rule_id}::{self.message}")

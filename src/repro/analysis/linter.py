@@ -2,6 +2,8 @@
 
 Suppression: append ``# repro: noqa`` to the finding's line to silence
 every rule there, or ``# repro: noqa[rule-a,rule-b]`` for specific rules.
+A noqa comment on the enclosing ``def`` line suppresses matching rules
+for the whole kernel function.
 
 Baseline: a JSON file of known findings (``{"findings": [{"rule", "path",
 "line"}, ...]}``). Findings matching a baseline entry are reported
@@ -20,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
-from repro.analysis.rules import RULES, iter_kernel_functions
+from repro.analysis.rules import RULES, check_kernel, iter_kernel_functions
 
 #: default lint targets, relative to the repository root
 DEFAULT_PATHS = ("src/repro/workloads", "src/repro/sync", "examples")
@@ -95,15 +97,21 @@ def lint_source(source: str, path: str) -> Tuple[List[Finding], List[Finding]]:
         )], []
     findings: List[Finding] = []
     for kfn in iter_kernel_functions(tree, path):
-        for rule in RULES.values():
-            findings.extend(rule.check(kfn))
+        findings.extend(check_kernel(kfn))
     noqa = _noqa_map(source)
 
-    def is_suppressed(f: Finding) -> bool:
-        if f.line not in noqa:
+    def line_suppresses(line: int, rule_id: str) -> bool:
+        if line not in noqa:
             return False
-        rules_here = noqa[f.line]
-        return rules_here is None or f.rule_id in rules_here
+        rules_here = noqa[line]
+        return rules_here is None or rule_id in rules_here
+
+    def is_suppressed(f: Finding) -> bool:
+        if line_suppresses(f.line, f.rule_id):
+            return True
+        # A noqa on the enclosing `def` line silences the whole kernel.
+        return f.def_line > 0 and f.def_line != f.line and \
+            line_suppresses(f.def_line, f.rule_id)
 
     active = [f for f in findings if not is_suppressed(f)]
     suppressed = [f for f in findings if is_suppressed(f)]
@@ -175,9 +183,18 @@ def run_lint(
     baseline_path: Optional[str] = None,
     write_baseline_path: Optional[str] = None,
     stream=None,
+    fmt: Optional[str] = None,
 ) -> int:
-    """CLI entry point for ``python -m repro lint``; returns exit status."""
+    """CLI entry point for ``python -m repro lint``; returns exit status.
+
+    ``fmt`` selects the rendering: ``"text"`` (default), ``"json"``, or
+    ``"github"`` (GitHub Actions ``::error``/``::warning`` workflow
+    commands, one per finding, plus the text summary on stderr-style
+    trailing line).
+    """
     stream = stream if stream is not None else sys.stdout
+    if fmt is None:
+        fmt = "json" if json_out else "text"
     targets = list(paths) if paths else [
         p for p in DEFAULT_PATHS if os.path.exists(p)]
     if not targets:
@@ -189,8 +206,14 @@ def run_lint(
         print(f"wrote {len(report.all_findings())} finding(s) to "
               f"{write_baseline_path}", file=stream)
         return 0
-    if json_out:
+    if fmt == "json":
         print(json.dumps(report.to_dict(), indent=2), file=stream)
+    elif fmt == "github":
+        for f in sorted(report.findings,
+                        key=lambda f: (f.path, f.line, f.rule_id)):
+            print(f.render_github(), file=stream)
+        print(f"{report.files_scanned} file(s) scanned: "
+              f"{len(report.findings)} finding(s)", file=stream)
     else:
         print(report.render(), file=stream)
     return 0 if report.ok else 1

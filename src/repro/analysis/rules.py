@@ -1,4 +1,4 @@
-"""The lint rule registry and the five kernel rules.
+"""The lint rule registry and the five kernel rules, hosted on the CFG.
 
 Kernels in this repository are Python generators programmed against
 :class:`~repro.gpu.device_api.WavefrontCtx`; every device operation and
@@ -8,190 +8,54 @@ from``. The rules below analyze exactly that DSL: they only fire inside
 *kernel functions* — functions that take a ``ctx`` parameter (or one
 annotated ``WavefrontCtx``) or that call ``ctx`` device ops.
 
+Since PR 8 each rule runs over the kernel's control-flow graph
+(:mod:`.cfg`) and the dataflow passes (:mod:`.dataflow`) instead of
+per-statement AST scans: busy-wait detection asks "does any path
+through this loop reach a blessed wait", the vulnerable-wait window is
+a reaching-definitions question, and critical sections come from a
+must-lockset — same rule ids, severities and messages, flow-sensitive
+answers.
+
 Each rule is registered with an id, a severity, a fix hint and the paper
 section that motivates it; ``# repro: noqa[rule-id]`` on the offending
-line suppresses a finding (see :mod:`repro.analysis.linter`).
+line (or on the enclosing ``def`` line) suppresses a finding (see
+:mod:`repro.analysis.linter`).
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
 
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    BUSY_SPIN,
+    classify_waits,
+    lockset,
+    reaching_rmw,
+)
+
+# Re-exported so existing imports (`from repro.analysis.rules import
+# DEVICE_GEN_OPS, iter_kernel_functions, ...`) keep working after the
+# DSL surface moved to repro.analysis.dsl.
+from repro.analysis.dsl import (  # noqa: F401
+    CTX_PLAIN_OPS,
+    DEVICE_GEN_OPS,
+    DIVERGENT_NAMES,
+    POLL_OPS,
+    PRIVATE_NAMES,
+    RMW_OPS,
+    SYNC_ENTRY_METHODS,
+    WAIT_OPS,
+    KernelFunction,
+    classify_call,
+    divergent_test as _test_is_divergent,
+    dump as _dump,
+    iter_kernel_functions,
+    keyword as _keyword,
+)
 from repro.analysis.findings import SEVERITIES, Finding
-
-# -- the device DSL surface ---------------------------------------------------
-
-#: ctx methods that return generators and must be driven with ``yield from``.
-DEVICE_GEN_OPS = frozenset({
-    "compute", "load", "store", "lds_read", "lds_write", "s_sleep",
-    "syncthreads", "atomic", "atomic_load", "atomic_add", "atomic_sub",
-    "atomic_exch", "atomic_store", "atomic_cas", "sync_wait",
-    "acquire_test_and_set", "wait_for_value",
-})
-
-#: ctx methods that are plain calls (no generator, no ``yield from``).
-CTX_PLAIN_OPS = frozenset({"progress"})
-
-#: the blessed waiting entry points — lowered by the active policy.
-WAIT_OPS = frozenset({"sync_wait", "wait_for_value", "acquire_test_and_set"})
-
-#: ctx reads a loop can poll on (the busy-wait ingredients).
-POLL_OPS = frozenset({
-    "load", "atomic", "atomic_load", "atomic_add", "atomic_sub",
-    "atomic_exch", "atomic_cas",
-})
-
-#: read-modify-write ops whose failure + separate wait re-opens §IV.C.
-RMW_OPS = frozenset({"atomic_add", "atomic_sub", "atomic_exch", "atomic_cas"})
-
-#: sync-primitive methods that suspend/advance execution when given a ctx.
-SYNC_ENTRY_METHODS = frozenset({"acquire", "arrive", "join", "group_size"})
-
-#: identifiers that make a condition wavefront-divergent (syncthreads is
-#: WG-local, so only wavefront-level identity matters — not wg_id).
-DIVERGENT_NAMES = frozenset({"is_master", "wf_id"})
-
-#: identifiers that mark an address expression as WG-private.
-PRIVATE_NAMES = frozenset({"grid_index", "wg_id", "wf_id"})
-
-
-# -- kernel-function model ----------------------------------------------------
-
-def _annotation_mentions_ctx(node: ast.arg) -> bool:
-    ann = node.annotation
-    if ann is None:
-        return False
-    try:
-        text = ast.unparse(ann)
-    except Exception:  # pragma: no cover - malformed annotation
-        return False
-    return "WavefrontCtx" in text
-
-
-def _ctx_param_names(fn: ast.FunctionDef) -> Set[str]:
-    names: Set[str] = set()
-    args = fn.args
-    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
-        if arg.arg == "ctx" or _annotation_mentions_ctx(arg):
-            names.add(arg.arg)
-    return names
-
-
-@dataclass
-class KernelFunction:
-    """One function that executes device code, with its own AST subset.
-
-    ``nodes`` excludes the subtrees of nested function definitions — each
-    nested ``def`` is analyzed as its own :class:`KernelFunction`.
-    """
-
-    node: ast.FunctionDef
-    path: str
-    ctx_names: Set[str]
-    nodes: List[ast.AST] = field(default_factory=list)
-    parents: Dict[int, ast.AST] = field(default_factory=dict)
-
-    @property
-    def name(self) -> str:
-        return self.node.name
-
-    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
-        """Ancestors of ``node`` up to (and excluding) the function def."""
-        cur = self.parents.get(id(node))
-        while cur is not None and cur is not self.node:
-            yield cur
-            cur = self.parents.get(id(cur))
-
-
-def _collect_own(fn: ast.FunctionDef) -> Tuple[List[ast.AST], Dict[int, ast.AST]]:
-    """Walk ``fn`` without descending into nested function definitions."""
-    nodes: List[ast.AST] = []
-    parents: Dict[int, ast.AST] = {}
-    stack: List[ast.AST] = [fn]
-    while stack:
-        cur = stack.pop()
-        for child in ast.iter_child_nodes(cur):
-            parents[id(child)] = cur
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                continue
-            nodes.append(child)
-            stack.append(child)
-    return nodes, parents
-
-
-def iter_kernel_functions(tree: ast.Module, path: str) -> Iterator[KernelFunction]:
-    """Every function in ``tree`` that looks like kernel/device code."""
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.FunctionDef):
-            continue
-        ctx_names = _ctx_param_names(node)
-        nodes, parents = _collect_own(node)
-        if not ctx_names:
-            # Fall back: closures over an outer `ctx` name still count.
-            if not any(isinstance(n, ast.Name) and n.id == "ctx" for n in nodes):
-                continue
-            ctx_names = {"ctx"}
-        yield KernelFunction(node=node, path=path, ctx_names=ctx_names,
-                             nodes=nodes, parents=parents)
-
-
-# -- device-call classification -----------------------------------------------
-
-def _is_ctx_name(node: ast.AST, ctx_names: Set[str]) -> bool:
-    return isinstance(node, ast.Name) and node.id in ctx_names
-
-
-def classify_call(call: ast.Call, ctx_names: Set[str]) -> Optional[Tuple[str, str]]:
-    """Classify a call as a device-op generator.
-
-    Returns ``("ctx", op)`` for ``ctx.<device op>(...)``, ``("sync",
-    method)`` for a call that passes a bare ctx argument (sync-primitive
-    methods and kernel helper generators), or ``None`` for host code.
-    """
-    func = call.func
-    if isinstance(func, ast.Attribute) and _is_ctx_name(func.value, ctx_names):
-        if func.attr in DEVICE_GEN_OPS:
-            return ("ctx", func.attr)
-        return None  # ctx.progress(...) and properties need no yield from
-    if any(_is_ctx_name(arg, ctx_names) for arg in call.args):
-        name = func.attr if isinstance(func, ast.Attribute) else (
-            func.id if isinstance(func, ast.Name) else "<call>")
-        return ("sync", name)
-    return None
-
-
-def _device_calls(kfn: KernelFunction) -> Iterator[Tuple[ast.Call, str, str]]:
-    for node in kfn.nodes:
-        if isinstance(node, ast.Call):
-            kind = classify_call(node, kfn.ctx_names)
-            if kind is not None:
-                yield node, kind[0], kind[1]
-
-
-def _addr_arg(call: ast.Call, op: str) -> Optional[ast.AST]:
-    """The address operand of a ctx memory op (``atomic`` carries the op
-    enum first; every other op leads with the address)."""
-    idx = 1 if op == "atomic" else 0
-    if len(call.args) > idx:
-        return call.args[idx]
-    for kw in call.keywords:
-        if kw.arg == "addr":
-            return kw.value
-    return None
-
-
-def _dump(node: Optional[ast.AST]) -> str:
-    return ast.dump(node) if node is not None else "<none>"
-
-
-def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
-    for kw in call.keywords:
-        if kw.arg == name:
-            return kw.value
-    return None
 
 
 # -- rule framework -----------------------------------------------------------
@@ -205,7 +69,7 @@ class Rule:
     summary: str
     hint: str
     paper_ref: str
-    check: Callable[[KernelFunction], Iterator[Finding]]
+    check: Callable[[CFG], Iterator[Finding]]
 
 
 RULES: Dict[str, Rule] = {}
@@ -216,7 +80,7 @@ def register(rule_id: str, severity: str, summary: str, hint: str,
     if severity not in SEVERITIES:
         raise ValueError(f"unknown severity {severity!r}")
 
-    def deco(fn: Callable[[KernelFunction], Iterator[Finding]]) -> Callable:
+    def deco(fn: Callable[[CFG], Iterator[Finding]]) -> Callable:
         if rule_id in RULES:
             raise ValueError(f"duplicate rule {rule_id}")
         RULES[rule_id] = Rule(rule_id=rule_id, severity=severity,
@@ -227,9 +91,9 @@ def register(rule_id: str, severity: str, summary: str, hint: str,
     return deco
 
 
-def _finding(rule_id: str, kfn: KernelFunction, node: ast.AST,
-             message: str) -> Finding:
+def _finding(rule_id: str, cfg: CFG, node: ast.AST, message: str) -> Finding:
     rule = RULES[rule_id]
+    kfn = cfg.kfn
     return Finding(
         rule_id=rule_id,
         severity=rule.severity,
@@ -239,7 +103,22 @@ def _finding(rule_id: str, kfn: KernelFunction, node: ast.AST,
         message=message,
         hint=rule.hint,
         function=kfn.name,
+        def_line=kfn.node.lineno,
     )
+
+
+def check_kernel(kfn: KernelFunction) -> List[Finding]:
+    """Build the CFG once and run every registered rule over it.
+
+    The builder's own ``analysis-error`` findings ride along (they are
+    not registered rules — the registry stays exactly the five
+    documented ids — but they surface through the same reporting path).
+    """
+    cfg = build_cfg(kfn)
+    findings: List[Finding] = list(cfg.errors)
+    for rule in RULES.values():
+        findings.extend(rule.check(cfg))
+    return findings
 
 
 # -- rule 1: missing-yield-from ----------------------------------------------
@@ -251,25 +130,16 @@ def _finding(rule_id: str, kfn: KernelFunction, node: ast.AST,
     "call builds a generator and silently discards the operation",
     "DSL contract",
 )
-def check_missing_yield_from(kfn: KernelFunction) -> Iterator[Finding]:
-    for call, kind, name in _device_calls(kfn):
-        delegated = False
-        for anc in kfn.parent_chain(call):
-            if isinstance(anc, (ast.YieldFrom, ast.Await)):
-                delegated = True
-                break
-            if isinstance(anc, ast.Return):
-                delegated = True  # `return ctx.op(...)` delegates to the caller
-                break
-            if isinstance(anc, ast.stmt):
-                break
-        if not delegated:
-            label = f"ctx.{name}" if kind == "ctx" else f"{name}(ctx)"
-            yield _finding(
-                "missing-yield-from", kfn, call,
-                f"`{label}(...)` builds a device-op generator that is never "
-                "started — the operation is silently dropped",
-            )
+def check_missing_yield_from(cfg: CFG) -> Iterator[Finding]:
+    for op in cfg.ops(unique=True):
+        if op.delegated:
+            continue
+        label = f"ctx.{op.name}" if op.group == "ctx" else f"{op.name}(ctx)"
+        yield _finding(
+            "missing-yield-from", cfg, op.call,
+            f"`{label}(...)` builds a device-op generator that is never "
+            "started — the operation is silently dropped",
+        )
 
 
 # -- rule 2: busy-wait-loop ---------------------------------------------------
@@ -281,31 +151,18 @@ def check_missing_yield_from(kfn: KernelFunction) -> Iterator[Finding]:
     "the scheduling policy can lower it without busy-waiting",
     "§IV.B-C",
 )
-def check_busy_wait_loop(kfn: KernelFunction) -> Iterator[Finding]:
-    for node in kfn.nodes:
-        if not isinstance(node, ast.While):
+def check_busy_wait_loop(cfg: CFG) -> Iterator[Finding]:
+    for site in classify_waits(cfg):
+        if site.kind != BUSY_SPIN or site.loop is None:
             continue
-        polls: List[str] = []
-        blessed = False
-        for sub in ast.walk(node):
-            if not isinstance(sub, ast.Call):
-                continue
-            kind = classify_call(sub, kfn.ctx_names)
-            if kind is None:
-                continue
-            if kind[0] == "ctx" and kind[1] in WAIT_OPS:
-                blessed = True
-            elif kind[0] == "sync" and kind[1] in SYNC_ENTRY_METHODS:
-                blessed = True
-            elif kind[0] == "ctx" and kind[1] in POLL_OPS:
-                polls.append(kind[1])
-        if polls and not blessed:
-            yield _finding(
-                "busy-wait-loop", kfn, node,
-                f"while-loop polls ctx.{polls[0]} with no sync_wait — a "
-                "busy-wait that deadlocks under oversubscription (the "
-                "waiting WG never releases its compute-unit slot)",
-            )
+        if not isinstance(site.loop.node, ast.While):
+            continue  # bounded-iteration `for` polls terminate by construction
+        yield _finding(
+            "busy-wait-loop", cfg, site.loop.node,
+            f"while-loop polls ctx.{site.polls[0]} with no sync_wait — a "
+            "busy-wait that deadlocks under oversubscription (the "
+            "waiting WG never releases its compute-unit slot)",
+        )
 
 
 # -- rule 3: vulnerable-wait --------------------------------------------------
@@ -319,31 +176,24 @@ def check_busy_wait_loop(kfn: KernelFunction) -> Iterator[Finding]:
     "`satisfied=lambda v: v >= target`",
     "§IV.C",
 )
-def check_vulnerable_wait(kfn: KernelFunction) -> Iterator[Finding]:
-    rmw_lines: Dict[str, int] = {}
-    for call, kind, name in _device_calls(kfn):
-        if kind != "ctx":
+def check_vulnerable_wait(cfg: CFG) -> Iterator[Finding]:
+    rmw = reaching_rmw(cfg)
+    for op in cfg.ops(unique=True):
+        if op.group != "ctx" or op.name not in ("wait_for_value", "sync_wait"):
             continue
-        if name in RMW_OPS or name == "atomic":
-            addr = _addr_arg(call, name)
-            key = _dump(addr)
-            rmw_lines.setdefault(key, call.lineno)
-    if not rmw_lines:
-        return
-    for call, kind, name in _device_calls(kfn):
-        if kind != "ctx" or name not in ("wait_for_value", "sync_wait"):
-            continue
+        call = op.call
         if _keyword(call, "satisfied") is not None:
             continue  # monotonic re-check closes the window (Mesa semantics)
         op_kw = _keyword(call, "op")
         if op_kw is not None and "LOAD" not in _dump(op_kw):
             continue  # fused waiting RMW — the §IV.D race-free path
-        addr = call.args[0] if call.args else _keyword(call, "addr")
-        key = _dump(addr)
-        rmw_line = rmw_lines.get(key)
+        addr = op.addr if op.addr is not None else (
+            call.args[0] if call.args else _keyword(call, "addr"))
+        reaching = rmw.at_op(cfg, op)
+        rmw_line = reaching.get(_dump(addr))
         if rmw_line is not None and rmw_line < call.lineno:
             yield _finding(
-                "vulnerable-wait", kfn, call,
+                "vulnerable-wait", cfg, call,
                 f"exact-equality wait on the variable updated by the atomic "
                 f"at line {rmw_line}: the releasing update can land between "
                 "the check and the wait arming (window of vulnerability)",
@@ -352,15 +202,6 @@ def check_vulnerable_wait(kfn: KernelFunction) -> Iterator[Finding]:
 
 # -- rule 4: divergent-syncthreads -------------------------------------------
 
-def _test_is_divergent(test: ast.AST) -> bool:
-    for sub in ast.walk(test):
-        if isinstance(sub, ast.Attribute) and sub.attr in DIVERGENT_NAMES:
-            return True
-        if isinstance(sub, ast.Name) and sub.id in DIVERGENT_NAMES:
-            return True
-    return False
-
-
 @register(
     "divergent-syncthreads", "error",
     "ctx.syncthreads() under a wavefront-divergent condition",
@@ -368,34 +209,37 @@ def _test_is_divergent(test: ast.AST) -> bool:
     "every wavefront of the WG must arrive or none may",
     "CUDA/HIP __syncthreads contract",
 )
-def check_divergent_syncthreads(kfn: KernelFunction) -> Iterator[Finding]:
-    for call, kind, name in _device_calls(kfn):
-        if kind != "ctx" or name != "syncthreads":
+def check_divergent_syncthreads(cfg: CFG) -> Iterator[Finding]:
+    kfn = cfg.kfn
+    for op in cfg.ops(unique=True):
+        if op.group != "ctx" or op.name != "syncthreads":
             continue
-        for anc in kfn.parent_chain(call):
-            if isinstance(anc, (ast.If, ast.While, ast.IfExp)) and \
-                    _test_is_divergent(anc.test):
-                yield _finding(
-                    "divergent-syncthreads", kfn, call,
-                    "ctx.syncthreads() controlled by a wavefront-divergent "
-                    f"condition (line {anc.lineno}): non-participating "
-                    "wavefronts never arrive and the WG hangs",
-                )
+        guard_line = None
+        # Innermost CFG guard first — the block's guard stack is
+        # outermost-first, so walk it in reverse.
+        for test, _polarity in reversed(cfg.blocks[op.block].guards):
+            if _test_is_divergent(test):
+                owner = kfn.parents.get(id(test), test)
+                guard_line = getattr(owner, "lineno", test.lineno)
                 break
+        if guard_line is None:
+            # Expression-level divergence (IfExp) never becomes a CFG
+            # branch; fall back to the ancestor chain for it.
+            for anc in kfn.parent_chain(op.call):
+                if isinstance(anc, (ast.If, ast.While, ast.IfExp)) and \
+                        _test_is_divergent(anc.test):
+                    guard_line = anc.lineno
+                    break
+        if guard_line is not None:
+            yield _finding(
+                "divergent-syncthreads", cfg, op.call,
+                "ctx.syncthreads() controlled by a wavefront-divergent "
+                f"condition (line {guard_line}): non-participating "
+                "wavefronts never arrive and the WG hangs",
+            )
 
 
 # -- rule 5: nonatomic-shared-rmw --------------------------------------------
-
-def _addr_is_private(addr: Optional[ast.AST], private_names: Set[str]) -> bool:
-    if addr is None:
-        return False
-    for sub in ast.walk(addr):
-        if isinstance(sub, ast.Attribute) and sub.attr in PRIVATE_NAMES:
-            return True
-        if isinstance(sub, ast.Name) and sub.id in private_names:
-            return True
-    return False
-
 
 @register(
     "nonatomic-shared-rmw", "warning",
@@ -404,50 +248,29 @@ def _addr_is_private(addr: Optional[ast.AST], private_names: Set[str]) -> bool:
     "`ctx.atomic_add` and friends for a single-word update",
     "Table 2 workloads",
 )
-def check_nonatomic_shared_rmw(kfn: KernelFunction) -> Iterator[Finding]:
-    findings: List[Finding] = []
-    #: names assigned from WG-identity expressions are WG-private indices
-    private_names: Set[str] = set()
-    for node in kfn.nodes:
-        if isinstance(node, ast.Assign) and _addr_is_private(node.value, private_names):
-            for tgt in node.targets:
-                if isinstance(tgt, ast.Name):
-                    private_names.add(tgt.id)
+def check_nonatomic_shared_rmw(cfg: CFG) -> Iterator[Finding]:
+    from repro.analysis.dataflow import private_index_names
+    from repro.analysis.dsl import addr_is_private
 
-    # Textual-order scan with a lock-depth counter: acquires open a
-    # critical section, releases close it (clamped at zero — an early
-    # return after a conditional release must not go negative).
-    depth = 0
+    locks = lockset(cfg)
+    private_names = private_index_names(cfg)
     pending_loads: Dict[str, int] = {}  # addr dump -> lock depth at load
-    calls = sorted(
-        (n for n in kfn.nodes if isinstance(n, ast.Call)),
-        key=lambda c: (c.lineno, c.col_offset),
-    )
-    for call in calls:
-        kind = classify_call(call, kfn.ctx_names)
-        if kind is None:
+    for op in cfg.ops(unique=True):
+        if op.group != "ctx" or op.name not in ("load", "store"):
             continue
-        group, name = kind
-        if (group == "sync" and name == "acquire") or \
-                (group == "ctx" and name == "acquire_test_and_set"):
-            depth += 1
-        elif group == "sync" and name == "release":
-            depth = max(0, depth - 1)
-        elif group == "ctx" and name == "load":
-            addr = _addr_arg(call, name)
-            if not _addr_is_private(addr, private_names):
-                pending_loads[_dump(addr)] = depth
-        elif group == "ctx" and name == "store":
-            addr = _addr_arg(call, name)
-            key = _dump(addr)
-            if key in pending_loads and pending_loads[key] == 0 \
-                    and depth == 0 \
-                    and not _addr_is_private(addr, private_names):
-                findings.append(_finding(
-                    "nonatomic-shared-rmw", kfn, call,
-                    "store completes a plain read-modify-write on a "
-                    "shared address with no enclosing acquire/"
-                    "release — concurrent WGs lose updates",
-                ))
-                del pending_loads[key]
-    return iter(findings)
+        depth = locks.at_op(cfg, op)
+        if op.name == "load":
+            if not addr_is_private(op.addr, private_names):
+                pending_loads[_dump(op.addr)] = depth
+            continue
+        key = _dump(op.addr)
+        if key in pending_loads and pending_loads[key] == 0 \
+                and depth == 0 \
+                and not addr_is_private(op.addr, private_names):
+            yield _finding(
+                "nonatomic-shared-rmw", cfg, op.call,
+                "store completes a plain read-modify-write on a "
+                "shared address with no enclosing acquire/"
+                "release — concurrent WGs lose updates",
+            )
+            del pending_loads[key]

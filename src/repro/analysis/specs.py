@@ -1,0 +1,254 @@
+"""Executable progress specs: what each scheduling policy guarantees.
+
+The paper's progress argument has three layers, and this module encodes
+them as checkable rules rather than prose:
+
+1. **The occupancy slot cycle.** Under a non-IFP scheduler (Baseline,
+   Sleep) a waiting WG keeps its compute-unit slot; if the WG that must
+   satisfy the wait is not yet dispatched, the wait-for graph closes a
+   cycle through the dispatch queue and no execution breaks it (§IV.B).
+   ``provides_ifp`` is exactly the license to context-switch waiting
+   WGs out, cutting that edge.
+
+2. **Raw spins are invisible.** A poll loop that never enters a blessed
+   wait (``ctx.sync_wait`` and friends) never tells the policy it is
+   blocked — *no* policy, IFP or not, can lower it, so it inherits the
+   slot-cycle hazard everywhere.
+
+3. **Wake-loss modes must be covered by a recovery timer.** Monitor
+   policies can lose wakeups: the §IV.C window of vulnerability
+   (wait-instruction policies arming after a racing update), monitor
+   state dropped on WG eviction under resource loss, ``resume one``
+   stranding extra waiters on a multi-waiter word, and AWG resume-count
+   mispredictions. Every mode needs a covering timer — the backstop
+   timeout or the straggler/retry interval — or the cell is
+   ``MAY_DEADLOCK``.
+
+A cell verdict is the worst over the benchmark's wait sites:
+``MAY_DEADLOCK`` > ``UNKNOWN`` > ``MUST_COMPLETE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import (
+    NotifyMode,
+    PolicySpec,
+    ResumeMode,
+    awg,
+    baseline,
+    minresume,
+    monnr_all,
+    monnr_one,
+    monr_all,
+    monrs_all,
+    timeout,
+)
+
+# -- verdicts -----------------------------------------------------------------
+
+MUST_COMPLETE = "MUST_COMPLETE"
+MAY_DEADLOCK = "MAY_DEADLOCK"
+UNKNOWN = "UNKNOWN"
+
+#: severity order for folding site verdicts into one cell verdict
+_ORDER = {MUST_COMPLETE: 0, UNKNOWN: 1, MAY_DEADLOCK: 2}
+
+
+def worst(verdicts: Sequence[str]) -> str:
+    return max(verdicts, key=lambda v: _ORDER[v]) if verdicts else MUST_COMPLETE
+
+
+# -- the policies of the static table ----------------------------------------
+
+def table_policies() -> List[PolicySpec]:
+    """The 8 policies of the differential suite and the static table —
+    one non-IFP baseline plus the paper's seven IFP designs (§IV).
+
+    The dynamic differential suite imports this list so the static and
+    dynamic tables can never drift apart.
+    """
+    return [
+        baseline(),
+        timeout(20_000),
+        monrs_all(),
+        monr_all(),
+        monnr_all(),
+        monnr_one(),
+        awg(),
+        minresume(),
+    ]
+
+
+# -- wait-site profile (produced by the progress pass) ------------------------
+
+@dataclass(frozen=True)
+class WaitProfile:
+    """The policy-relevant facts about one wait site."""
+
+    label: str  # "SpinMutex.acquire:lock_addr"
+    kind: str  # busy-spin | blocking-wait | interval-wait
+    #: update fused into the wait (waiting-atomic shape, §IV.D) — no
+    #: window of vulnerability under any mechanism
+    fused: bool = False
+    #: `satisfied=` monotonic predicate — Mesa-safe re-checks
+    monotonic: bool = False
+    #: at most one WG parked per word (Table 2 "waiters per cond = 1")
+    single_waiter: bool = False
+    #: a satisfying writer was found (statically matched or hinted)
+    matched: bool = True
+
+
+@dataclass(frozen=True)
+class SiteVerdict:
+    site: str
+    verdict: str
+    reasons: Tuple[str, ...]
+
+
+@dataclass
+class CellVerdict:
+    """One (benchmark, policy) cell of the static table."""
+
+    bench: str
+    policy: str
+    verdict: str
+    sites: List[SiteVerdict] = field(default_factory=list)
+
+    @property
+    def reasons(self) -> List[str]:
+        out: List[str] = []
+        for sv in self.sites:
+            if _ORDER[sv.verdict] == _ORDER[self.verdict]:
+                out.extend(sv.reasons)
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "bench": self.bench,
+            "policy": self.policy,
+            "verdict": self.verdict,
+            "sites": [
+                {"site": s.site, "verdict": s.verdict,
+                 "reasons": list(s.reasons)}
+                for s in self.sites
+            ],
+        }
+
+
+# -- the spec itself ----------------------------------------------------------
+
+def _covering_timer(policy: PolicySpec) -> Optional[str]:
+    """The recovery timer that re-evaluates a lost wait, if any."""
+    if policy.backstop_timeout is not None:
+        return f"backstop_timeout={policy.backstop_timeout}"
+    if policy.timeout_interval is not None:
+        return f"timeout_interval={policy.timeout_interval}"
+    return None
+
+
+def _straggler_timer(policy: PolicySpec) -> Optional[str]:
+    """The timer that frees a stranded-but-armed waiter (resume-one
+    stragglers, misprediction stalls): the retry interval if present,
+    else the backstop."""
+    if policy.timeout_interval is not None:
+        return f"timeout_interval={policy.timeout_interval}"
+    if policy.backstop_timeout is not None:
+        return f"backstop_timeout={policy.backstop_timeout}"
+    return None
+
+
+def site_verdict(policy: PolicySpec, profile: WaitProfile) -> SiteVerdict:
+    """Classify one wait site under one policy."""
+    reasons: List[str] = []
+
+    # Layer 2: raw spins defeat every policy.
+    if profile.kind == "busy-spin":
+        return SiteVerdict(
+            site=profile.label, verdict=MAY_DEADLOCK,
+            reasons=(f"{profile.label}: raw poll loop never enters a "
+                     "blessed wait — the WG holds its CU slot under every "
+                     "policy and the slot cycle is unbreakable",))
+
+    # Layer 1: the occupancy slot cycle.
+    if not policy.provides_ifp:
+        return SiteVerdict(
+            site=profile.label, verdict=MAY_DEADLOCK,
+            reasons=(f"{profile.label}: {policy.name} never context-"
+                     "switches a waiting WG, so under oversubscription the "
+                     "wait-for edge closes a cycle through the dispatch "
+                     "queue (occupancy-bound, §IV.B)",))
+
+    # No statically known writer: we cannot argue completion.
+    if not profile.matched:
+        return SiteVerdict(
+            site=profile.label, verdict=UNKNOWN,
+            reasons=(f"{profile.label}: no satisfying writer statically "
+                     "matched for this wait (computed address without a "
+                     "role hint?)",))
+
+    # Layer 3: enumerate wake-loss modes and their covering timers.
+    uncovered: List[str] = []
+
+    def need(mode: str, timer: Optional[str]) -> None:
+        if timer is None:
+            uncovered.append(mode)
+        else:
+            reasons.append(f"{mode} covered by {timer}")
+
+    if policy.has_race_window and not profile.fused:
+        need("window-of-vulnerability (§IV.C: update lands between "
+             "check and wait arming)", _covering_timer(policy))
+    if policy.uses_monitor:
+        need("monitor-state loss on WG eviction (resource loss)",
+             _covering_timer(policy))
+    else:
+        # Timeout: no monitor at all — *every* wakeup is timer-driven.
+        need("no notification path (timer-only wakeups)",
+             _straggler_timer(policy))
+    if policy.resume is ResumeMode.ONE and not profile.single_waiter:
+        need("resume-one stranding (multiple waiters, one resumed)",
+             _straggler_timer(policy))
+    if policy.resume is ResumeMode.PREDICT:
+        need("resume-count misprediction (Bloom predictor)",
+             _straggler_timer(policy))
+    if policy.notify is NotifyMode.SPORADIC and not profile.monotonic \
+            and not profile.fused:
+        # Sporadic notification re-checks on *any* touch; an exact
+        # re-check can observe a transient value and re-arm. The
+        # monotonic episode-counter design (or a fused RMW retry)
+        # makes the re-check safe; otherwise the backstop recovers.
+        need("sporadic-notify transient re-arm on exact re-check",
+             _covering_timer(policy))
+
+    if uncovered:
+        return SiteVerdict(
+            site=profile.label, verdict=MAY_DEADLOCK,
+            reasons=tuple(f"{profile.label}: {m} has no covering "
+                          "recovery timer" for m in uncovered))
+    return SiteVerdict(site=profile.label, verdict=MUST_COMPLETE,
+                       reasons=tuple(f"{profile.label}: {r}"
+                                     for r in reasons))
+
+
+def cell_verdict(bench: str, policy: PolicySpec,
+                 profiles: Sequence[WaitProfile],
+                 analysis_errors: Sequence[str] = ()) -> CellVerdict:
+    """Fold a benchmark's wait sites into one table cell."""
+    sites = [site_verdict(policy, p) for p in profiles]
+    if analysis_errors:
+        sites.append(SiteVerdict(
+            site="<analysis>", verdict=UNKNOWN,
+            reasons=tuple(analysis_errors)))
+    if not sites:
+        sites.append(SiteVerdict(
+            site="<none>", verdict=UNKNOWN,
+            reasons=("no wait sites found — nothing to argue progress "
+                     "over",)))
+    return CellVerdict(
+        bench=bench, policy=policy.name,
+        verdict=worst([s.verdict for s in sites]),
+        sites=sites,
+    )

@@ -23,6 +23,13 @@ Usage::
     awg-repro faults --bundles DIR --shrink   # bundle + minimize violations
     awg-repro lint                  # static kernel linter (default paths)
     awg-repro lint --json src/repro/workloads
+    awg-repro lint --format=github  # CI annotations (::error file=...)
+    awg-repro analyze               # static progress table (12x8 verdicts)
+    awg-repro analyze SLM_G --json  # one benchmark, machine-readable
+    awg-repro analyze --dot         # role wait-for graphs (GraphViz)
+    awg-repro analyze --golden analysis-table.json       # CI diff
+    awg-repro analyze --write-golden analysis-table.json # re-baseline
+    awg-repro analyze --crosscheck  # static vs dynamic vs DESIGN.md
     awg-repro sanitize SPM_G awg    # dynamic race detection run
     awg-repro sanitize _RACY        # the seeded-race drill (exits 1)
     awg-repro trace FAM_G awg --out t.json   # Chrome/Perfetto trace
@@ -261,6 +268,46 @@ def _run_sanitize(opts, parser) -> int:
     return 0 if clean else 1
 
 
+def _run_analyze(opts) -> int:
+    """Static progress table: build, render, golden-diff, cross-check."""
+    import json
+
+    from repro.analysis.analyzer import (
+        build_report, compare_golden, run_crosscheck, write_golden,
+    )
+
+    report = build_report(opts.args or None)
+    if opts.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif opts.dot:
+        print(report.render_dot())
+    else:
+        print(report.render_table())
+    if opts.write_golden:
+        write_golden(report, opts.write_golden)
+        print(f"wrote golden table to {opts.write_golden}")
+        return 0
+    rc = 0
+    if opts.golden:
+        diffs = compare_golden(report, opts.golden)
+        if diffs:
+            print(f"golden table drift vs {opts.golden} "
+                  f"({len(diffs)} cell(s)):", file=sys.stderr)
+            for diff in diffs:
+                print(f"  - {diff}", file=sys.stderr)
+            print("re-baseline with: python -m repro analyze "
+                  f"--write-golden {opts.golden}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"golden table matches {opts.golden}")
+    if opts.crosscheck:
+        result = run_crosscheck(report)
+        print(result.render())
+        if not result.ok:
+            rc = 1
+    return rc
+
+
 def _run_bench(opts) -> int:
     """Run the continuous perf suite (see repro.experiments.bench)."""
     from repro.experiments import bench
@@ -475,11 +522,12 @@ def _dispatch(argv=None) -> int:
     parser.add_argument(
         "command",
         help="experiment id (table1, table2, fig5..fig15), 'list', "
-             "'all', 'run', 'lint', or 'sanitize'",
+             "'all', 'run', 'lint', 'analyze', or 'sanitize'",
     )
     parser.add_argument("args", nargs="*",
                         help="for 'run': BENCHMARK POLICY; for 'lint': "
-                             "paths; for 'sanitize'/'trace': "
+                             "paths; for 'analyze': benchmarks "
+                             "(default: all); for 'sanitize'/'trace': "
                              "BENCHMARK [POLICY]")
     parser.add_argument("--quick", action="store_true",
                         help="small-scale smoke configuration")
@@ -524,7 +572,27 @@ def _dispatch(argv=None) -> int:
                         help="for 'faults': also minimize each emitted "
                              "bundle (delta debugging)")
     parser.add_argument("--json", action="store_true",
-                        help="for 'lint'/'sanitize': machine-readable output")
+                        help="for 'lint'/'sanitize'/'analyze': "
+                             "machine-readable output")
+    parser.add_argument("--format", default=None, dest="fmt",
+                        choices=("text", "json", "github"),
+                        help="for 'lint': output format (github emits "
+                             "GitHub Actions ::error annotations)")
+    parser.add_argument("--table", action="store_true",
+                        help="for 'analyze': ASCII verdict table "
+                             "(the default)")
+    parser.add_argument("--dot", action="store_true",
+                        help="for 'analyze': GraphViz wait-for graphs")
+    parser.add_argument("--crosscheck", action="store_true",
+                        help="for 'analyze': replay the differential "
+                             "scenario dynamically and fail on any "
+                             "unsound static verdict")
+    parser.add_argument("--golden", default=None, metavar="FILE",
+                        help="for 'analyze': diff the table against a "
+                             "committed golden file (exit 1 on drift)")
+    parser.add_argument("--write-golden", default=None, metavar="FILE",
+                        help="for 'analyze': (re)write the golden table "
+                             "and exit 0")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="for 'lint': known-findings file; only new "
                              "findings fail the run")
@@ -555,8 +623,8 @@ def _dispatch(argv=None) -> int:
 
         print("experiments:", ", ".join(EXPERIMENTS))
         print("extras:      ablations, faults, timeline, cache, "
-              "lint, sanitize, trace, matrix, replay, shrink, bench, "
-              "fabric")
+              "lint, analyze, sanitize, trace, matrix, replay, shrink, "
+              "bench, fabric")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
@@ -570,7 +638,11 @@ def _dispatch(argv=None) -> int:
             opts.args, json_out=opts.json,
             baseline_path=opts.baseline,
             write_baseline_path=opts.write_baseline,
+            fmt=opts.fmt,
         )
+
+    if opts.command == "analyze":
+        return _run_analyze(opts)
 
     if opts.command == "sanitize":
         return _run_sanitize(opts, parser)

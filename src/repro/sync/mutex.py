@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import DeviceError
+from repro.workloads.roles import WaitHint, kernel_roles
 
 if TYPE_CHECKING:  # pragma: no cover
     from typing import Optional
@@ -86,6 +87,7 @@ class SpinMutex(_LockDiscipline):
         HeteroSync keeps lock and protected data adjacent)."""
         return self.lock_addr
 
+    @kernel_roles("holder", "contender")
     def acquire(self, ctx: "WavefrontCtx"):
         """Returns an opaque token to pass to :meth:`release`."""
         yield from ctx.acquire_test_and_set(
@@ -121,6 +123,7 @@ class FAMutex(_LockDiscipline):
     def home_addr(self) -> int:
         return self.serving_addr
 
+    @kernel_roles("holder", "contender")
     def acquire(self, ctx: "WavefrontCtx"):
         my_ticket = yield from ctx.atomic_add(self.ticket_addr, 1)
         yield from ctx.wait_for_value(
@@ -166,6 +169,13 @@ class SleepMutex(_LockDiscipline):
     def _slot(self, ticket: int) -> int:
         return self.slot_addrs[ticket % self.queue_slots]
 
+    # The queue slot is a *computed* address (`self._slot(ticket)`), so
+    # wait-to-writer matching cannot be inferred from the address
+    # expression alone — the hint carries Figure 10's structure: the
+    # holder's release writes the next slot, one waiter per word.
+    @kernel_roles("holder", "contender",
+                  waits=(WaitHint("_slot", waiter="contender",
+                                  updater="holder", single_waiter=True),))
     def acquire(self, ctx: "WavefrontCtx"):
         ticket = yield from ctx.atomic_add(self.tail_addr, 1)
         # atomicCmpWait(myQueueLoc, 1): arm the SyncMon if the comparison

@@ -28,6 +28,11 @@ from repro.workloads.heterosync import (
     validate_barrier_run,
     validate_mutex_run,
 )
+from repro.workloads.roles import (
+    SyncProtocol,
+    barrier_protocol,
+    mutex_protocol,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.gpu import GPU
@@ -78,6 +83,9 @@ class BenchmarkSpec:
     table2: Table2Row
     #: Figure 7 only covers the benchmarks modified to use s_sleep backoff
     supports_sleep: bool = False
+    #: static synchronization structure for the progress analyzer
+    #: (None for stress drills, which are not analyzable workloads)
+    protocol: Optional[SyncProtocol] = None
 
 
 def _mutex_builder(mutex_factory: Callable, local_scope: bool):
@@ -231,6 +239,7 @@ _register(BenchmarkSpec(
     resources=_profile(7, 64, 0),  # ~2.0 KB context
     table2=Table2Row("n", "1", "1", "G", "2"),
     supports_sleep=True,
+    protocol=mutex_protocol("SpinMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="SPMBO_G", full_name="SpinMutexBackoff",
@@ -239,6 +248,7 @@ _register(BenchmarkSpec(
     builder=_mutex_builder(_spin_backoff, local_scope=False),
     resources=_profile(9, 64, 0),  # ~2.5 KB
     table2=Table2Row("n", "1", "1", "G", "2"),
+    protocol=mutex_protocol("SpinMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="FAM_G", full_name="FAMutex",
@@ -248,6 +258,7 @@ _register(BenchmarkSpec(
     resources=_profile(11, 80, 0),  # ~3 KB
     table2=Table2Row("n", "1", "G", "1", "1"),
     supports_sleep=True,
+    protocol=mutex_protocol("FAMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="SLM_G", full_name="SleepMutex",
@@ -256,6 +267,7 @@ _register(BenchmarkSpec(
     builder=_mutex_builder(_sleep_mutex, local_scope=False),
     resources=_profile(15, 96, 0),  # ~4 KB
     table2=Table2Row("n", "G", "1", "1", "1"),
+    protocol=mutex_protocol("SleepMutex", decentralized=True),
 ))
 _register(BenchmarkSpec(
     abbrev="SPM_L", full_name="SpinMutexLocal",
@@ -265,6 +277,7 @@ _register(BenchmarkSpec(
     resources=_profile(7, 64, 256),
     table2=Table2Row("n", "G/L", "1", "L", "2"),
     supports_sleep=True,
+    protocol=mutex_protocol("SpinMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="SPMBO_L", full_name="SpinMutexBackoffLocal",
@@ -273,6 +286,7 @@ _register(BenchmarkSpec(
     builder=_mutex_builder(_spin_backoff, local_scope=True),
     resources=_profile(9, 64, 256),
     table2=Table2Row("n", "G/L", "1", "L", "2"),
+    protocol=mutex_protocol("SpinMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="FAM_L", full_name="FAMutexLocal",
@@ -282,6 +296,7 @@ _register(BenchmarkSpec(
     resources=_profile(11, 80, 256),
     table2=Table2Row("n", "G/L", "L", "1", "1"),
     supports_sleep=True,
+    protocol=mutex_protocol("FAMutex"),
 ))
 _register(BenchmarkSpec(
     abbrev="SLM_L", full_name="SleepMutexLocal",
@@ -290,6 +305,7 @@ _register(BenchmarkSpec(
     builder=_mutex_builder(_sleep_mutex, local_scope=True),
     resources=_profile(15, 96, 256),
     table2=Table2Row("n", "G", "1", "1", "1"),
+    protocol=mutex_protocol("SleepMutex", decentralized=True),
 ))
 _register(BenchmarkSpec(
     abbrev="TB_LG", full_name="AtomicTreeBarr",
@@ -299,6 +315,7 @@ _register(BenchmarkSpec(
     resources=_profile(22, 96, 512),  # ~6 KB
     table2=Table2Row("n", "G/L", "1", "L", "L"),
     supports_sleep=True,
+    protocol=barrier_protocol("AtomicTreeBarrier"),
 ))
 _register(BenchmarkSpec(
     abbrev="LFTB_LG", full_name="LFTreeBarr",
@@ -307,6 +324,8 @@ _register(BenchmarkSpec(
     builder=_barrier_builder(_lf_tree_barrier(exchange=False)),
     resources=_profile(26, 96, 512),  # ~7 KB
     table2=Table2Row("n", "G", "1", "1", "1"),
+    protocol=barrier_protocol("LFTreeBarrier", decentralized=True,
+                             roles=("member", "leader", "root")),
 ))
 _register(BenchmarkSpec(
     abbrev="TBEX_LG", full_name="AtomicTreeBarrLocalExch",
@@ -316,6 +335,7 @@ _register(BenchmarkSpec(
     resources=_profile(34, 128, 1024),  # ~10 KB
     table2=Table2Row("n", "G/L", "1", "L", "L"),
     supports_sleep=True,
+    protocol=barrier_protocol("AtomicTreeBarrier"),
 ))
 _register(BenchmarkSpec(
     abbrev="LFTBEX_LG", full_name="LFTreeBarrLocalExch",
@@ -324,6 +344,8 @@ _register(BenchmarkSpec(
     builder=_barrier_builder(_lf_tree_barrier(exchange=True)),
     resources=_profile(30, 128, 1024),  # ~9 KB
     table2=Table2Row("n", "G", "1", "1", "1"),
+    protocol=barrier_protocol("LFTreeBarrier", decentralized=True,
+                             roles=("member", "leader", "root")),
 ))
 
 

@@ -1,0 +1,123 @@
+"""The assembled static table, its golden file, and the analyze CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import (
+    build_report,
+    compare_golden,
+    run_crosscheck,
+    write_golden,
+)
+from repro.analysis.specs import MAY_DEADLOCK, MUST_COMPLETE
+from repro.cli import main
+from repro.workloads.registry import benchmark_names
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report()
+
+
+def test_full_table_covers_every_cell(report):
+    assert report.benchmarks == benchmark_names()
+    assert len(report.benchmarks) == 12
+    assert len(report.policies) == 8
+    assert len(report.cells) == 96
+    assert report.errors == []
+
+
+def test_static_table_reproduces_the_ifp_deadlock_table(report):
+    """The paper's claim, statically derived: the non-IFP baseline may
+    deadlock everywhere, every IFP policy must complete everywhere."""
+    for bench in report.benchmarks:
+        assert report.cells[(bench, "Baseline")].verdict == MAY_DEADLOCK
+        for policy in report.policies:
+            if policy != "Baseline":
+                cell = report.cells[(bench, policy)]
+                assert cell.verdict == MUST_COMPLETE, (
+                    bench, policy, cell.reasons)
+
+
+def test_every_cell_explains_itself(report):
+    for cell in report.cells.values():
+        assert cell.sites, (cell.bench, cell.policy)
+        assert cell.reasons, (cell.bench, cell.policy)
+
+
+def test_committed_golden_matches_fresh_analysis(report):
+    diffs = compare_golden(report, str(REPO_ROOT / "analysis-table.json"))
+    assert diffs == [], (
+        "analysis-table.json is stale; re-baseline with "
+        "`make analyze-golden` if the verdict change is deliberate")
+
+
+def test_golden_roundtrip_and_drift_detection(report, tmp_path):
+    path = tmp_path / "golden.json"
+    write_golden(report, str(path))
+    assert compare_golden(report, str(path)) == []
+    doc = json.loads(path.read_text())
+    doc["table"]["SPM_G"]["AWG"] = MAY_DEADLOCK
+    path.write_text(json.dumps(doc))
+    diffs = compare_golden(report, str(path))
+    assert len(diffs) == 1 and "SPM_G/AWG" in diffs[0]
+
+
+def test_missing_golden_says_how_to_create_it(report, tmp_path):
+    diffs = compare_golden(report, str(tmp_path / "nope.json"))
+    assert diffs and "--write-golden" in diffs[0]
+
+
+def test_crosscheck_against_design_only(report):
+    result = run_crosscheck(report, design_path=str(REPO_ROOT / "DESIGN.md"),
+                            dynamic=False)
+    assert result.ok, result.violations
+    assert result.cells_checked == 96
+
+
+def test_report_json_schema(report):
+    doc = report.to_dict()
+    assert doc["version"] == 1
+    assert set(doc) == {"version", "benchmarks", "policies", "table",
+                        "cells", "graphs"}
+    assert len(doc["cells"]) == 96
+    for cell in doc["cells"]:
+        assert set(cell) == {"bench", "policy", "verdict", "sites"}
+    assert len(doc["graphs"]) == 12
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_analyze_table(capsys):
+    assert main(["analyze", "SPM_G"]) == 0
+    out = capsys.readouterr().out
+    assert "SPM_G" in out and "MAY-DL" in out and "must" in out
+
+
+def test_cli_analyze_json(capsys):
+    assert main(["analyze", "SLM_G", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["benchmarks"] == ["SLM_G"]
+    assert doc["table"]["SLM_G"]["Baseline"] == MAY_DEADLOCK
+
+
+def test_cli_analyze_dot(capsys):
+    assert main(["analyze", "TB_LG", "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_cli_analyze_golden_gate(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["analyze", "--write-golden", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--golden", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    doc["table"]["SPM_G"]["AWG"] = "MAY_DEADLOCK"
+    path.write_text(json.dumps(doc))
+    assert main(["analyze", "--golden", str(path)]) == 1
+    assert "drift" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""CFG builder: structure, sync splits, loops, and adversarial kernels.
+
+The adversarial half is the contract the rest of the analyzer leans on:
+*any* parseable kernel must lower to a well-formed CFG or degrade to a
+structured ``analysis-error`` finding — never crash the linter.
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import cfgs_for_source
+from repro.analysis.dataflow import classify_waits
+
+
+def _cfgs(source):
+    return list(cfgs_for_source(textwrap.dedent(source), "<test>"))
+
+
+def _cfg(source):
+    cfgs = _cfgs(source)
+    assert len(cfgs) == 1, "expected exactly one kernel function"
+    return cfgs[0]
+
+
+# -- basic structure ----------------------------------------------------------
+
+def test_straight_line_kernel_is_well_formed():
+    cfg = _cfg("""
+        def kernel(ctx):
+            yield from ctx.store(0x10, 1)
+            v = yield from ctx.load(0x10)
+            yield from ctx.atomic_add(0x20, v)
+    """)
+    assert cfg.errors == []
+    assert cfg.check_well_formed() == []
+    assert [op.name for op in cfg.ops()] == ["store", "load", "atomic_add"]
+
+
+def test_if_else_produces_true_false_edges_and_guards():
+    cfg = _cfg("""
+        def kernel(ctx):
+            if ctx.wg_id == 0:
+                yield from ctx.store(0x10, 1)
+            else:
+                yield from ctx.store(0x20, 1)
+            yield from ctx.load(0x10)
+    """)
+    assert cfg.check_well_formed() == []
+    kinds = {e.kind for b in cfg.blocks.values() for e in b.succs}
+    assert {"true", "false"} <= kinds
+    stores = [op for op in cfg.ops() if op.name == "store"]
+    polarities = sorted(
+        pol for op in stores for _, pol in cfg.blocks[op.block].guards)
+    assert polarities == [False, True]
+    load = next(op for op in cfg.ops() if op.name == "load")
+    assert cfg.blocks[load.block].guards == ()
+
+
+def test_while_loop_unbounded_for_range_bounded():
+    cfg = _cfg("""
+        def kernel(ctx):
+            for i in range(4):
+                yield from ctx.store(0x10 + i, 1)
+            while True:
+                v = yield from ctx.load(0x20)
+                if v:
+                    break
+    """)
+    assert cfg.check_well_formed() == []
+    bounded = sorted(loop.bounded for loop in cfg.loops)
+    assert bounded == [False, True]
+
+
+def test_blessed_wait_splits_block_with_sync_edge():
+    cfg = _cfg("""
+        def kernel(ctx):
+            yield from ctx.store(0x10, 1)
+            yield from ctx.sync_wait(0x20, 1)
+            yield from ctx.store(0x30, 1)
+    """)
+    assert cfg.check_well_formed() == []
+    kinds = {e.kind for b in cfg.blocks.values() for e in b.succs}
+    assert "sync" in kinds
+    blocks = {op.block for op in cfg.ops()}
+    assert len(blocks) > 1, "sync point did not split the block"
+
+
+# -- adversarial kernels (satellite): never crash -----------------------------
+
+ADVERSARIAL = {
+    "nested_loops_break_continue": """
+        def kernel(ctx):
+            for i in range(4):
+                while True:
+                    v = yield from ctx.load(0x10)
+                    if v == 0:
+                        break
+                    if v == 1:
+                        continue
+                    yield from ctx.store(0x10, v - 1)
+                if i == 2:
+                    continue
+                yield from ctx.atomic_add(0x20, 1)
+    """,
+    "early_return": """
+        def kernel(ctx):
+            v = yield from ctx.load(0x10)
+            if v == 0:
+                return
+            yield from ctx.store(0x10, v)
+    """,
+    "try_finally_around_release": """
+        def kernel(ctx, mutex):
+            yield from mutex.acquire(ctx)
+            try:
+                v = yield from ctx.load(0x10)
+                if v < 0:
+                    return
+                yield from ctx.store(0x10, v + 1)
+            finally:
+                yield from mutex.release(ctx)
+    """,
+    "generator_that_never_yields": """
+        def kernel(ctx):
+            if False:
+                yield from ctx.store(0x10, 1)
+            return
+    """,
+    "break_outside_loop": """
+        def kernel(ctx):
+            yield from ctx.load(0x10)
+            break
+    """,
+    "return_inside_nested_loops": """
+        def kernel(ctx):
+            while True:
+                for i in range(2):
+                    v = yield from ctx.load(0x10)
+                    if v:
+                        return
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+def test_adversarial_kernel_never_crashes(name):
+    cfg = _cfg(ADVERSARIAL[name])  # must not raise
+    assert cfg.check_well_formed() == []
+    for finding in cfg.errors:
+        assert finding.rule_id == "analysis-error"
+        assert finding.line > 0
+    # downstream passes must also survive whatever the CFG contains
+    classify_waits(cfg)
+
+
+def test_break_outside_loop_reports_analysis_error():
+    cfg = _cfg(ADVERSARIAL["break_outside_loop"])
+    assert any("break outside" in f.message for f in cfg.errors)
+
+
+def test_finally_body_duplicated_on_early_return_path():
+    cfg = _cfg(ADVERSARIAL["try_finally_around_release"])
+    releases = [op for op in cfg.ops(unique=False) if op.name == "release"]
+    assert len(releases) >= 2, (
+        "finally release not re-lowered along the return path")
+    assert len([op for op in cfg.ops(unique=True)
+                if op.name == "release"]) == 1
+    assert any(b.dup for b in cfg.blocks.values())
+
+
+@pytest.mark.skipif(sys.version_info < (3, 10),
+                    reason="match statements need Python 3.10+")
+def test_match_statement_degrades_to_analysis_error():
+    cfg = _cfg("""
+        def kernel(ctx):
+            v = yield from ctx.load(0x10)
+            match v:
+                case 0:
+                    yield from ctx.store(0x20, 1)
+                case _:
+                    yield from ctx.store(0x20, 2)
+    """)
+    assert cfg.check_well_formed() == []
+    assert any("unmodeled control flow" in f.message for f in cfg.errors)
+
+
+def test_multiple_kernels_in_one_source():
+    cfgs = _cfgs("""
+        def first(ctx):
+            yield from ctx.store(0x10, 1)
+
+        def second(ctx):
+            yield from ctx.load(0x10)
+    """)
+    assert [c.kfn.qualname for c in cfgs] == ["first", "second"]
+    for cfg in cfgs:
+        assert cfg.check_well_formed() == []

@@ -214,3 +214,70 @@ def test_every_rule_id_is_documented(doc):
     text = (REPO_ROOT / doc).read_text()
     for rule_id in RULES:
         assert rule_id in text, f"{rule_id} missing from {doc}"
+
+
+# -- whole-kernel suppression via the def line --------------------------------
+
+def _annotate_def_lines(source, comment):
+    lines = source.splitlines()
+    return "\n".join(
+        line + comment if line.lstrip().startswith("def ") else line
+        for line in lines)
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_noqa_on_the_def_line_suppresses_the_whole_kernel(rule_id):
+    source, _ = _offending_source_and_line(rule_id)
+    annotated = _annotate_def_lines(source, f"  # repro: noqa[{rule_id}]")
+    active, suppressed = lint_source(annotated, "x.py")
+    assert not [f for f in active if f.rule_id == rule_id], (
+        f"{rule_id} not suppressed by a def-line noqa")
+    assert any(f.rule_id == rule_id for f in suppressed)
+
+
+def test_def_line_noqa_for_another_rule_does_not_suppress():
+    source, _ = _offending_source_and_line("busy-wait-loop")
+    annotated = _annotate_def_lines(
+        source, "  # repro: noqa[missing-yield-from]")
+    active, _ = lint_source(annotated, "x.py")
+    assert any(f.rule_id == "busy-wait-loop" for f in active)
+
+
+def test_findings_carry_their_def_line():
+    source, line = _offending_source_and_line("busy-wait-loop")
+    active, _ = lint_source(source, "x.py")
+    finding = next(f for f in active if f.rule_id == "busy-wait-loop")
+    assert 0 < finding.def_line <= line
+
+
+# -- GitHub Actions annotation format -----------------------------------------
+
+def test_render_github_error_and_warning():
+    err = Finding(rule_id="busy-wait-loop", severity="error",
+                  message="spin", path="a.py", line=3, col=5,
+                  function="kernel", hint="h")
+    warn = Finding(rule_id="vulnerable-wait", severity="warning",
+                   message="racy", path="b.py", line=7, col=1,
+                   function="kernel", hint="h")
+    assert err.render_github() == (
+        "::error file=a.py,line=3,col=5,title=busy-wait-loop::spin")
+    assert warn.render_github().startswith("::warning file=b.py,line=7")
+
+
+def test_cli_lint_github_format(capsys):
+    rc = main(["lint", "--format", "github",
+               str(FIXTURES / "pos_busy_wait_loop.py")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=busy-wait-loop" in out
+    assert "file(s) scanned" in out
+
+
+def test_cli_lint_github_format_clean(capsys):
+    rc = main(["lint", "--format", "github",
+               str(FIXTURES / "neg_busy_wait_loop.py")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out and "::warning" not in out
+    assert "0 finding(s)" in out

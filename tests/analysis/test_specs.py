@@ -1,0 +1,110 @@
+"""Executable policy progress specs: site and cell verdicts."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.specs import (
+    MAY_DEADLOCK,
+    MUST_COMPLETE,
+    UNKNOWN,
+    WaitProfile,
+    cell_verdict,
+    site_verdict,
+    table_policies,
+    worst,
+)
+from repro.core.policies import awg, baseline, monnr_all, monnr_one, timeout
+
+BLOCKING = WaitProfile(label="t:addr", kind="blocking-wait")
+SPIN = WaitProfile(label="t:spin", kind="busy-spin")
+UNMATCHED = WaitProfile(label="t:ghost", kind="blocking-wait", matched=False)
+
+
+def test_worst_orders_verdicts():
+    assert worst([MUST_COMPLETE, UNKNOWN]) == UNKNOWN
+    assert worst([UNKNOWN, MAY_DEADLOCK, MUST_COMPLETE]) == MAY_DEADLOCK
+    assert worst([]) == MUST_COMPLETE
+
+
+def test_table_policies_shape():
+    policies = table_policies()
+    names = [p.name for p in policies]
+    assert len(names) == len(set(names)) == 8
+    assert names[0] == "Baseline"
+    assert sum(1 for p in policies if p.provides_ifp) == 7
+
+
+@pytest.mark.parametrize("policy", table_policies(),
+                         ids=lambda p: p.name)
+def test_busy_spin_defeats_every_policy(policy):
+    sv = site_verdict(policy, SPIN)
+    assert sv.verdict == MAY_DEADLOCK
+    assert any("slot" in r for r in sv.reasons)
+
+
+def test_baseline_may_deadlock_on_any_blessed_wait():
+    sv = site_verdict(baseline(), BLOCKING)
+    assert sv.verdict == MAY_DEADLOCK
+    assert any("context-switch" in r for r in sv.reasons)
+
+
+def test_ifp_policy_completes_a_matched_blessed_wait():
+    for policy in table_policies():
+        if not policy.provides_ifp:
+            continue
+        sv = site_verdict(policy, BLOCKING)
+        assert sv.verdict == MUST_COMPLETE, (policy.name, sv.reasons)
+        # every MUST_COMPLETE must say which timer covers which mode
+        assert sv.reasons
+
+
+def test_unmatched_writer_is_unknown_under_ifp():
+    assert site_verdict(awg(), UNMATCHED).verdict == UNKNOWN
+    # ... but the slot-cycle argument does not need a writer match
+    assert site_verdict(baseline(), UNMATCHED).verdict == MAY_DEADLOCK
+
+
+def test_resume_one_stranding_needs_a_straggler_timer():
+    stripped = dataclasses.replace(
+        monnr_one(), timeout_interval=None, backstop_timeout=None)
+    multi = site_verdict(stripped, BLOCKING)
+    assert multi.verdict == MAY_DEADLOCK
+    assert any("resume-one stranding" in r for r in multi.reasons)
+    single = site_verdict(
+        stripped, dataclasses.replace(BLOCKING, single_waiter=True))
+    assert not any("resume-one" in r for r in single.reasons)
+
+
+def test_monitor_loss_uncovered_without_backstop():
+    stripped = dataclasses.replace(
+        monnr_all(), timeout_interval=None, backstop_timeout=None)
+    sv = site_verdict(stripped, BLOCKING)
+    assert sv.verdict == MAY_DEADLOCK
+    assert any("monitor-state loss" in r for r in sv.reasons)
+
+
+def test_timeout_policy_relies_on_its_interval():
+    sv = site_verdict(timeout(20_000), BLOCKING)
+    assert sv.verdict == MUST_COMPLETE
+    assert any("timer-only wakeups" in r and "timeout_interval" in r
+               for r in sv.reasons)
+
+
+def test_cell_verdict_folds_worst_site():
+    cell = cell_verdict("B", awg(), [BLOCKING, SPIN])
+    assert cell.verdict == MAY_DEADLOCK
+    assert len(cell.sites) == 2
+
+
+def test_cell_verdict_without_sites_is_unknown():
+    cell = cell_verdict("B", awg(), [])
+    assert cell.verdict == UNKNOWN
+    assert cell.sites[0].site == "<none>"
+
+
+def test_cell_verdict_analysis_errors_taint_the_cell():
+    cell = cell_verdict("B", awg(), [BLOCKING],
+                        analysis_errors=["kernel.body: unmodeled"])
+    assert cell.verdict == UNKNOWN
+    assert any(s.site == "<analysis>" for s in cell.sites)

@@ -26,43 +26,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.policies import (
-    awg,
-    baseline,
-    minresume,
-    monnr_all,
-    monnr_one,
-    monr_all,
-    monrs_all,
-    timeout,
-)
-from repro.experiments import QUICK_SCALE, run_benchmark
+from repro.analysis.crosscheck import differential_scenario
+from repro.analysis.specs import table_policies
+from repro.experiments import run_benchmark
 from repro.workloads.registry import benchmark_names
 
 #: oversubscription after CU loss: 8 WGs, 1 slot per CU, one CU lost
 #: mid-run.  Baseline deadlocks on every benchmark at this scale; all
-#: 96 cells simulate in ~10 s in-process.
-SCENARIO = QUICK_SCALE.scaled(
-    total_wgs=8,
-    wgs_per_group=4,
-    max_wgs_per_cu=1,
-    iterations=1,
-    episodes=4,
-    resource_loss_at_us=0.5,
-    deadlock_window=100_000,
-    label="differential",
-)
+#: 96 cells simulate in ~10 s in-process.  Shared with the static
+#: analyzer's cross-check (repro.analysis.crosscheck) so the static and
+#: dynamic tables always describe the same experiment.
+SCENARIO = differential_scenario()
 
-POLICIES = [
-    baseline(),
-    timeout(20_000),
-    monrs_all(),
-    monr_all(),
-    monnr_all(),
-    monnr_one(),
-    awg(),
-    minresume(),
-]
+POLICIES = table_policies()
 POLICY_BY_NAME = {p.name: p for p in POLICIES}
 IFP_NAMES = [p.name for p in POLICIES if p.provides_ifp]
 
