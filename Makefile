@@ -16,6 +16,9 @@
 #                        a drill repro bundle
 #   make fabric-smoke  seeded chaos drill over the distributed sweep
 #                      fabric: 4 workers, kill/stall/interrupt faults
+#   make litmus-smoke  seeded litmus corpus + generated programs vs the
+#                      golden policy set; violating runs drop shrunken
+#                      repro bundles into .litmus-bundles/
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
@@ -29,7 +32,7 @@ export PYTHONPATH := src
 
 .PHONY: test lint analyze analyze-golden bench bench-smoke bench-json \
 	bench-json-smoke faults-smoke trace-smoke recovery-smoke \
-	fabric-smoke clean-cache
+	fabric-smoke litmus-smoke clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -69,6 +72,9 @@ recovery-smoke:
 
 fabric-smoke:
 	$(PY) -m repro fabric drill --workers 4 --seed 0
+
+litmus-smoke:
+	$(PY) -m repro litmus run --smoke --seed 1 --bundles .litmus-bundles --shrink
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

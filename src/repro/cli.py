@@ -36,6 +36,11 @@ Usage::
     awg-repro trace SPM_G --quick --categories wg,sync,dispatch
     awg-repro bench                 # perf suite -> BENCH_<n>.json
     awg-repro bench --smoke --out bench-smoke.json   # CI smoke + gate
+    awg-repro litmus run --smoke    # corpus + generated programs, judged
+    awg-repro litmus run --seed 7 --programs 16      # wider random sweep
+    awg-repro litmus generate --seed 3 --out progs.json
+    awg-repro litmus replay BUNDLE  # re-run one violating litmus cell
+    awg-repro litmus shrink BUNDLE  # minimize a violating litmus program
     awg-repro fabric run SPM_G FAM_G --workers 4     # leased worker fleet
     awg-repro fabric run --resume [KEY]              # resume on a fleet
     awg-repro fabric status         # live sweeps, leases, fleet state
@@ -235,6 +240,132 @@ def _run_faults(opts, **matrix_kw) -> int:
             print(f"  repro bundle: {path}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_litmus_command(opts, parser) -> int:
+    """Progress-model litmus harness: run the corpus + generated
+    programs across policies, judge each observed schedule against the
+    OBE/Linear/IFP specs, cross-check the static expectations, and
+    bundle/shrink any violation (see README "Litmus testing")."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.specs import table_policies
+    from repro.litmus.generate import random_corpus
+    from repro.litmus.oracle import (
+        compare_golden_entry, golden_entry, golden_policies, run_corpus,
+    )
+    from repro.litmus.shrinklink import (
+        emit_violation_bundles, load_litmus_bundle, replay_litmus_bundle,
+        shrink_litmus_bundle, write_litmus_bundle,
+    )
+    from repro.workloads.litmus import litmus_corpus
+
+    sub = opts.args[0] if opts.args else "run"
+
+    if sub == "generate":
+        programs = random_corpus(opts.seed, count=opts.programs or 8)
+        text = json.dumps([p.spec() for p in programs], indent=2,
+                          sort_keys=True)
+        if opts.out:
+            Path(opts.out).write_text(text + "\n")
+            print(f"wrote {len(programs)} canonical programs to "
+                  f"{opts.out} (seed {opts.seed})")
+        else:
+            print(text)
+        return 0
+
+    if sub == "replay":
+        if len(opts.args) != 2:
+            parser.error("litmus replay needs BUNDLE")
+        bundle = load_litmus_bundle(opts.args[1])
+        report = replay_litmus_bundle(bundle)
+        request = bundle["request"]
+        label = (request["program"].get("alias")
+                 or "generated litmus program")
+        print(f"replaying {label} / {request['policy']['name']} — "
+              f"expecting {report['expected']['mode']}")
+        if opts.json:
+            print(json.dumps(report, indent=2, sort_keys=True,
+                             default=str))
+        if report["reproduced"]:
+            print("REPRODUCED: the recorded violation recurs")
+            return 0
+        print(f"NOT reproduced: observed {report['observed']} "
+              f"(code fingerprint in bundle provenance: "
+              f"{bundle['provenance'].get('fingerprint')})",
+              file=sys.stderr)
+        return 1
+
+    if sub == "shrink":
+        if len(opts.args) != 2:
+            parser.error("litmus shrink needs BUNDLE")
+        source = Path(opts.args[1])
+        result = shrink_litmus_bundle(load_litmus_bundle(source))
+        print(result.render())
+        out_dir = Path(opts.out) if opts.out else source.parent
+        path = write_litmus_bundle(result.minimal, out_dir)
+        print(f"minimal bundle: {path}")
+        return 0
+
+    if sub != "run":
+        parser.error(f"unknown litmus subcommand {sub!r}; expected "
+                     "run, generate, replay, or shrink")
+
+    started = time.time()
+    corpus = litmus_corpus()
+    count = opts.programs if opts.programs is not None else (
+        4 if opts.smoke else 8)
+    known = {p.name for p in corpus}
+    generated = [p for p in random_corpus(opts.seed, count=count)
+                 if p.name not in known]
+    policies = golden_policies() if opts.smoke else table_policies()
+    report = run_corpus(corpus + generated, policies, seed=opts.seed)
+    if opts.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print(f"[litmus: {len(corpus)} corpus + {len(generated)} "
+              f"generated programs, seed {opts.seed}, "
+              f"{time.time() - started:.1f}s]")
+    rc = 0
+    golden_dir = Path("tests/golden/litmus")
+    if opts.smoke and golden_dir.is_dir():
+        diffs = []
+        for program in corpus:
+            path = golden_dir / f"{program.alias}.json"
+            if not path.is_file():
+                diffs.append(f"{program.alias}: no golden file {path}")
+                continue
+            diffs.extend(compare_golden_entry(
+                golden_entry(report, program),
+                json.loads(path.read_text())))
+        if diffs:
+            print(f"litmus golden drift ({len(diffs)} diff(s)):",
+                  file=sys.stderr)
+            for diff in diffs:
+                print(f"  - {diff}", file=sys.stderr)
+            print("re-baseline with: REPRO_UPDATE_GOLDENS=1 "
+                  "python -m pytest tests/litmus/test_golden_corpus.py",
+                  file=sys.stderr)
+            rc = 1
+        else:
+            print(f"golden corpus matches {golden_dir} "
+                  f"({len(corpus)} programs)")
+    if report.contract_violations:
+        print(f"FAILED: {len(report.contract_violations)} "
+              "litmus contract violation(s)", file=sys.stderr)
+        if opts.bundles:
+            for path in emit_violation_bundles(
+                    report, opts.bundles, seed=opts.seed,
+                    shrink=opts.shrink):
+                print(f"  repro bundle: {path}", file=sys.stderr)
+        rc = 1
+    if not report.models_distinguishable():
+        print("FAILED: no program distinguishes OBE from IFP — the "
+              "models judged every schedule identically", file=sys.stderr)
+        rc = 1
+    return rc
 
 
 def _run_sanitize(opts, parser) -> int:
@@ -533,12 +664,14 @@ def _dispatch(argv=None) -> int:
                         help="small-scale smoke configuration")
     parser.add_argument("--smoke", action="store_true",
                         help="for 'faults': two-benchmark smoke campaign; "
-                             "for 'bench': small-scale gated run")
+                             "for 'bench': small-scale gated run; for "
+                             "'litmus': golden policies + small corpus")
     parser.add_argument("--series", type=int, default=None, metavar="N",
                         help="for 'bench': BENCH_N.json series number "
                              "(default: newest committed + 1)")
     parser.add_argument("--seed", type=int, default=1, metavar="N",
-                        help="for 'faults': root seed for the fault plans")
+                        help="for 'faults'/'litmus': root seed for fault "
+                             "plans / program generation")
     parser.add_argument("--plans", default=None, metavar="A,B,...",
                         help="for 'faults': comma-separated plan names "
                              "(default: all named plans)")
@@ -566,11 +699,11 @@ def _dispatch(argv=None) -> int:
                         help="for 'replay': re-run with structured "
                              "tracing on (write with --out)")
     parser.add_argument("--bundles", default=None, metavar="DIR",
-                        help="for 'faults': write a repro bundle per "
-                             "violating cell into DIR")
+                        help="for 'faults'/'litmus': write a repro "
+                             "bundle per violating cell into DIR")
     parser.add_argument("--shrink", action="store_true",
-                        help="for 'faults': also minimize each emitted "
-                             "bundle (delta debugging)")
+                        help="for 'faults'/'litmus': also minimize each "
+                             "emitted bundle (delta debugging)")
     parser.add_argument("--json", action="store_true",
                         help="for 'lint'/'sanitize'/'analyze': "
                              "machine-readable output")
@@ -608,6 +741,9 @@ def _dispatch(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="for 'fabric': worker fleet size "
                              "(default: 4)")
+    parser.add_argument("--programs", type=int, default=None, metavar="N",
+                        help="for 'litmus': generated programs per run "
+                             "(default: 4 with --smoke, else 8)")
     parser.add_argument("--ttl", type=float, default=5.0, metavar="SEC",
                         help="for 'fabric': lease heartbeat budget; a "
                              "worker silent this long loses its cell")
@@ -624,7 +760,7 @@ def _dispatch(argv=None) -> int:
         print("experiments:", ", ".join(EXPERIMENTS))
         print("extras:      ablations, faults, timeline, cache, "
               "lint, analyze, sanitize, trace, matrix, replay, shrink, "
-              "bench, fabric")
+              "bench, fabric, litmus")
         print("benchmarks: ", ", ".join(benchmark_names()))
         print("policies:    baseline, sleep, timeout, monrs-all, "
               "monr-all, monnr-all, monnr-one, awg, minresume")
@@ -664,6 +800,9 @@ def _dispatch(argv=None) -> int:
 
     if opts.command == "fabric":
         return _run_fabric_command(opts, parser)
+
+    if opts.command == "litmus":
+        return _run_litmus_command(opts, parser)
 
     if opts.command == "replay":
         return _run_replay(opts, parser)

@@ -24,6 +24,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class Dispatcher:
     """Routes WGs between the pending/ready queues and the CUs."""
 
+    #: consecutive ready-over-pending placements before the oldest
+    #: pending WG is force-dispatched. Ready-before-pending is the right
+    #: default (a started WG holds saved context and sync state), but a
+    #: sustained notify storm — e.g. MonRS-All waiters sporadically
+    #: re-waking each other on one contended address — can cycle ready
+    #: WGs through the slots forever while a never-started WG starves,
+    #: silently breaking the IFP guarantee the policy claims. Aging
+    #: bounds that: pending WGs wait at most this many placements.
+    STARVATION_LIMIT = 64
+
     def __init__(self, gpu: "GPU") -> None:
         self.gpu = gpu
         self.pending: Deque["WorkGroup"] = deque()
@@ -31,11 +41,13 @@ class Dispatcher:
         #: WGs frozen by whole-kernel suspension (kernel scheduler)
         self._frozen: List["WorkGroup"] = []
         self._kick_scheduled = False
+        self._pending_passovers = 0
         # statistics
         self.dispatches = 0
         self.swap_ins = 0
         self.notifies_delivered = 0
         self.notifies_dropped = 0
+        self.starvation_dispatches = 0
 
     # ------------------------------------------------------------------
     # queue management
@@ -91,7 +103,27 @@ class Dispatcher:
     def _select(self) -> Optional["WorkGroup"]:
         """Pick the next WG to place: highest priority wins; ties go to
         ready (previously started) WGs before pending ones, FIFO within a
-        queue. Kernel-suspended WGs are frozen aside until resumed."""
+        queue. Kernel-suspended WGs are frozen aside until resumed.
+
+        Anti-starvation aging: after STARVATION_LIMIT consecutive
+        ready-over-pending picks, the oldest dispatchable pending WG is
+        placed instead (once), so never-started WGs cannot starve behind
+        a self-sustaining resume storm."""
+        dispatchable_pending = any(
+            not wg.kernel_suspended for wg in self.pending)
+        if (dispatchable_pending
+                and self._pending_passovers >= self.STARVATION_LIMIT):
+            for wg in self.pending:
+                if not wg.kernel_suspended:
+                    self.pending.remove(wg)
+                    self._pending_passovers = 0
+                    self.starvation_dispatches += 1
+                    tracer = self.gpu.tracer
+                    if tracer is not None:
+                        tracer.instant(
+                            "dispatch", "starvation-override",
+                            track="dispatcher", wg=wg.wg_id)
+                    return wg
         best = None
         best_key = None
         for rank, queue in ((1, self.ready), (0, self.pending)):
@@ -105,6 +137,10 @@ class Dispatcher:
             return None
         wg, queue = best
         queue.remove(wg)
+        if queue is self.ready and dispatchable_pending:
+            self._pending_passovers += 1
+        else:
+            self._pending_passovers = 0
         return wg
 
     def _freeze_suspended(self) -> None:

@@ -1,0 +1,26 @@
+"""Shared test configuration: hypothesis settings profiles.
+
+Per-test ``@settings(...)`` used to repeat ``deadline=None`` inline in
+every property test; the profiles below centralize it. ``deadline`` is
+disabled everywhere because simulation-backed properties have wildly
+varying per-example cost (a cold first example JITs dispatch tables,
+caches, etc.), which is exactly the flakiness hypothesis deadlines
+punish.
+
+The ``ci`` profile additionally derandomizes: CI failures must be
+reproducible from the committed code alone, not from a lucky RNG draw.
+Select it with ``HYPOTHESIS_PROFILE=ci`` (the workflow does); local
+runs keep randomized exploration by default.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a baked-in dep
+    settings = None
+
+if settings is not None:
+    settings.register_profile("default", deadline=None)
+    settings.register_profile("ci", deadline=None, derandomize=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

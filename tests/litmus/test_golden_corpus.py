@@ -1,0 +1,78 @@
+"""Golden litmus corpus: the committed per-model verdict baseline.
+
+One JSON file per corpus program under ``tests/golden/litmus/``,
+holding its canonical spec and the (policy -> outcome/expected/verdict)
+cells for the golden policy subset. CI runs the fixed corpus
+deterministically; hypothesis exploration stays opt-in.
+
+Re-baseline after an intentional behavior change::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/litmus/test_golden_corpus.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.litmus.oracle import (
+    compare_golden_entry,
+    golden_entry,
+    golden_policies,
+    run_corpus,
+)
+from repro.workloads.litmus import litmus_corpus
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden" / "litmus"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS", "") in ("1", "true", "yes")
+
+_REPORT = None
+
+
+def corpus_report():
+    global _REPORT
+    if _REPORT is None:
+        _REPORT = run_corpus(litmus_corpus(), golden_policies(), seed=1)
+    return _REPORT
+
+
+@pytest.mark.parametrize(
+    "program", litmus_corpus(), ids=lambda p: p.alias)
+def test_golden_corpus_program(program):
+    fresh = golden_entry(corpus_report(), program)
+    path = GOLDEN_DIR / f"{program.alias}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.is_file(), (
+        f"no golden file {path}; generate with REPRO_UPDATE_GOLDENS=1")
+    diffs = compare_golden_entry(fresh, json.loads(path.read_text()))
+    assert not diffs, (
+        "litmus golden drift:\n  " + "\n  ".join(diffs)
+        + "\nIf intentional, re-baseline with REPRO_UPDATE_GOLDENS=1.")
+
+
+def test_no_stale_golden_files():
+    if UPDATE or not GOLDEN_DIR.is_dir():
+        pytest.skip("regenerating or goldens absent")
+    committed = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    expected = {f"{p.alias}.json" for p in litmus_corpus()}
+    assert committed == expected, (
+        f"stale golden files: {sorted(committed - expected)}; "
+        f"missing: {sorted(expected - committed)}")
+
+
+def test_golden_corpus_is_classified_correctly():
+    # The acceptance criterion in executable form: every corpus program
+    # classified against all three models without contract violations,
+    # and the models observably distinguishable.
+    report = corpus_report()
+    assert report.ok, report.contract_violations
+    assert report.models_distinguishable()
+    for run in report.runs:
+        for model in ("OBE", "Linear", "IFP"):
+            assert run.judgments[model].verdict in (
+                "satisfied", "violated", "vacuous")

@@ -1,0 +1,169 @@
+"""The progress-model specs on synthetic schedules (no simulator)."""
+
+from repro.litmus.generate import chain, handoff, producer_consumer
+from repro.litmus.models import (
+    IFP,
+    LINEAR,
+    MODEL_ORDER,
+    MODELS,
+    OBE,
+    ObservedSchedule,
+    ProgressModel,
+    SATISFIED,
+    VACUOUS,
+    VIOLATED,
+    claimed_model,
+    judge_all,
+    weaker_or_equal,
+)
+from repro.core.policies import awg, baseline, monnr_one, timeout
+
+
+def completed_schedule(program, waits=1):
+    return ObservedSchedule(
+        wgs=program.wgs,
+        started=frozenset(range(program.wgs)),
+        completed=frozenset(range(program.wgs)),
+        pcs=tuple(len(s) for s in program.scripts),
+        waits_executed=waits,
+        terminated=True,
+    )
+
+
+def test_lattice_order():
+    assert weaker_or_equal(OBE, LINEAR)
+    assert weaker_or_equal(LINEAR, IFP)
+    assert weaker_or_equal(OBE, IFP)
+    assert not weaker_or_equal(IFP, OBE)
+    assert [m.name for m in MODELS] == sorted(
+        (m.name for m in MODELS), key=MODEL_ORDER.__getitem__)
+
+
+def test_fair_sets_grow_up_the_lattice():
+    schedule = ObservedSchedule(
+        wgs=6, started=frozenset({2, 4}), completed=frozenset(),
+        pcs=(0,) * 6, waits_executed=1, terminated=False)
+    obe = ProgressModel(OBE).fair_set(schedule)
+    linear = ProgressModel(LINEAR).fair_set(schedule)
+    ifp = ProgressModel(IFP).fair_set(schedule)
+    assert obe == {2, 4}
+    # linear closes downward from the started frontier (max id 4)
+    assert linear == {0, 1, 2, 3, 4}
+    assert ifp == frozenset(range(6))
+    assert obe <= linear <= ifp
+
+
+def test_completed_run_satisfies_every_model():
+    program = handoff(wgs=4)
+    for judgment in judge_all(program, completed_schedule(program)).values():
+        assert judgment.verdict == SATISFIED
+
+
+def test_completed_run_without_waits_is_vacuous():
+    program = handoff(wgs=4)
+    schedule = completed_schedule(program, waits=0)
+    for judgment in judge_all(program, schedule).values():
+        assert judgment.verdict == VACUOUS
+
+
+def test_obe_allows_starving_unstarted_producer():
+    # Oversubscribed producer/consumer, the producer (last WG) never
+    # started: consumers blocked on its flag forever. OBE and Linear
+    # permit this (the producer is outside both fair sets); IFP does
+    # not.
+    program = producer_consumer(consumers=4)
+    producer = program.wgs - 1
+    schedule = ObservedSchedule(
+        wgs=program.wgs,
+        started=frozenset(range(4)),
+        completed=frozenset(),
+        pcs=(0, 0, 0, 0, 0),  # consumers at their wait, producer unstarted
+        waits_executed=4,
+        terminated=False,
+        flags=(0,),
+    )
+    verdicts = {m: j.verdict
+                for m, j in judge_all(program, schedule).items()}
+    assert verdicts == {OBE: SATISFIED, LINEAR: SATISFIED, IFP: VIOLATED}
+    assert producer not in ProgressModel(OBE).fair_set(schedule)
+
+
+def test_linear_distinguishes_obe_via_frontier_gap():
+    # Backward chain, only WGs {2,3} ever started, blocked on flags set
+    # by WG 3 / WG 4... construct directly: wg i waits flag set by wg
+    # i-1 (forward chain), started = {2, 3} but WGs 0..1 never ran.
+    # OBE's fair set is {2,3}: their satisfier (wg 1) is outside it, so
+    # the hang is allowed. Linear's fair set closes downward to
+    # {0,1,2,3}: replaying with WGs 0..1 fair completes the chain, so
+    # the same schedule violates Linear (and IFP) but satisfies OBE.
+    program = chain(wgs=4, forward=True)
+    schedule = ObservedSchedule(
+        wgs=4,
+        started=frozenset({2, 3}),
+        completed=frozenset(),
+        pcs=(0, 0, 1, 1),  # wg2/wg3 parked at their waits
+        waits_executed=2,
+        terminated=False,
+        flags=(0, 0, 0, 0),
+    )
+    verdicts = {m: j.verdict
+                for m, j in judge_all(program, schedule).items()}
+    assert verdicts == {OBE: SATISFIED, LINEAR: VIOLATED, IFP: VIOLATED}
+
+
+def test_violation_monotone_up_the_lattice():
+    # Any schedule violating a weaker model violates every stronger one
+    # (fair sets only grow). Spot-check across the synthetic schedules
+    # above plus a fully-started hang.
+    program = chain(wgs=4, forward=True)
+    schedules = [
+        ObservedSchedule(
+            wgs=4, started=frozenset({2, 3}), completed=frozenset(),
+            pcs=(0, 0, 1, 1), waits_executed=2, terminated=False,
+            flags=(0, 0, 0, 0)),
+        ObservedSchedule(
+            wgs=4, started=frozenset(range(4)), completed=frozenset({0}),
+            pcs=(2, 1, 1, 1), waits_executed=3, terminated=False,
+            flags=(1, 0, 0, 0)),
+    ]
+    for schedule in schedules:
+        verdicts = judge_all(program, schedule)
+        for weak in MODELS:
+            for strong in MODELS:
+                if not weaker_or_equal(weak.name, strong.name):
+                    continue
+                if verdicts[weak.name].verdict == VIOLATED:
+                    assert verdicts[strong.name].verdict == VIOLATED
+
+
+def test_judgments_carry_progress_arguments():
+    program = chain(wgs=4, forward=True)
+    schedule = ObservedSchedule(
+        wgs=4, started=frozenset(range(4)), completed=frozenset({0}),
+        pcs=(2, 1, 1, 1), waits_executed=3, terminated=False,
+        flags=(1, 0, 0, 0))
+    judgment = ProgressModel(IFP).judge(program, schedule)
+    assert judgment.verdict == VIOLATED
+    assert judgment.reasons and "fairness" in judgment.reasons[0]
+
+
+def test_claimed_models():
+    assert claimed_model(baseline()) == OBE
+    assert claimed_model(timeout(20_000)) == IFP
+    assert claimed_model(monnr_one()) == IFP
+    assert claimed_model(awg()) == IFP
+
+
+def test_unsatisfiable_hang_is_allowed_by_all_models():
+    # A wait with no writer anywhere: even IFP's full fair set cannot
+    # force termination, so the hang is satisfied (the model constrains
+    # schedulers, not programs).
+    from repro.litmus.generate import unsatisfiable_wait
+
+    program = unsatisfiable_wait()
+    schedule = ObservedSchedule(
+        wgs=program.wgs, started=frozenset(range(program.wgs)),
+        completed=frozenset({1}), pcs=(0, 1), waits_executed=1,
+        terminated=False, flags=(0,))
+    for judgment in judge_all(program, schedule).values():
+        assert judgment.verdict == SATISFIED

@@ -1,0 +1,137 @@
+"""The oracle end-to-end: simulator runs judged against the models,
+static expectations enforced, determinism, and registry integration."""
+
+import pytest
+
+from repro.core.policies import awg, baseline, monnr_one, timeout
+from repro.litmus.models import IFP, OBE, SATISFIED, VACUOUS, VIOLATED
+from repro.litmus.oracle import golden_policies, run_corpus, run_litmus
+from repro.workloads.litmus import get_litmus, litmus_corpus, litmus_names
+
+
+def test_acceptance_witness_obe_violated_ifp_satisfied():
+    # The ISSUE acceptance property, as a single program: under
+    # Baseline the loss window evicts started WGs that are never
+    # restored — OBE's own fair set would have finished the run, so
+    # the hang violates OBE. The same program completes under the
+    # paper's AWG policy, satisfying IFP.
+    program = get_litmus("LIT_HANDOFF_LOSS")
+    under_baseline = run_litmus(program, baseline())
+    assert not under_baseline.outcome.ok
+    assert under_baseline.judgments[OBE].verdict == VIOLATED
+    under_awg = run_litmus(program, awg())
+    assert under_awg.outcome.ok
+    assert under_awg.judgments[IFP].verdict == SATISFIED
+
+
+def test_occupancy_cycle_allowed_by_obe_forbidden_by_ifp():
+    # The other direction of distinguishability: the oversubscribed
+    # producer/consumer hangs under Baseline with the producer never
+    # started — allowed by OBE (producer outside the fair set), a
+    # violation of the IFP model.
+    program = get_litmus("LIT_PRODCONS_OVER")
+    run = run_litmus(program, baseline())
+    assert not run.outcome.ok
+    assert run.judgments[OBE].verdict == SATISFIED
+    assert run.judgments[IFP].verdict == VIOLATED
+
+
+def test_vacuous_program_reports_vacuous_under_every_model():
+    # Satellite: an unreachable wait must yield `vacuous`, not
+    # `satisfied`, under every model and every golden policy — the
+    # guard against trivially-passing generated programs.
+    program = get_litmus("LIT_VACUOUS")
+    for policy in golden_policies():
+        run = run_litmus(program, policy)
+        assert run.outcome.ok
+        for model, judgment in run.judgments.items():
+            assert judgment.verdict == VACUOUS, (policy.name, model)
+
+
+def test_unsatisfiable_wait_hangs_but_satisfies_all_models():
+    program = get_litmus("LIT_UNSAT")
+    for policy in (baseline(), awg()):
+        run = run_litmus(program, policy)
+        assert not run.outcome.ok
+        for judgment in run.judgments.values():
+            assert judgment.verdict == SATISFIED
+        assert run.expected == "MAY_DEADLOCK"
+        assert run.contract_violation is None
+
+
+def test_ifp_policies_complete_whole_corpus_except_unsat():
+    for policy in (timeout(20_000), monnr_one(), awg()):
+        for program in litmus_corpus():
+            run = run_litmus(program, policy)
+            if program.alias == "LIT_UNSAT":
+                assert not run.outcome.ok, policy.name
+            else:
+                assert run.outcome.ok, (program.alias, policy.name,
+                                        run.outcome.reason)
+            assert run.contract_violation is None
+
+
+def test_corpus_report_clean_and_distinguishable():
+    report = run_corpus(litmus_corpus(), golden_policies(), seed=1)
+    assert report.ok, report.contract_violations
+    assert report.models_distinguishable()
+    document = report.to_dict()
+    assert document["summary"]["contract_violations"] == []
+    assert document["summary"]["models_distinguishable"] is True
+    assert len(document["programs"]) == len(litmus_names())
+
+
+def test_oracle_bit_reproducible():
+    programs = [get_litmus("LIT_HANDOFF_LOSS"), get_litmus("LIT_PRODCONS_OVER"),
+                get_litmus("LIT_VACUOUS")]
+    policies = [baseline(), awg()]
+    first = run_corpus(programs, policies, seed=3).to_dict()
+    second = run_corpus(programs, policies, seed=3).to_dict()
+    assert first == second
+
+
+def test_observer_reconstructs_completed_schedule():
+    program = get_litmus("LIT_HANDOFF")
+    run = run_litmus(program, awg())
+    schedule = run.schedule
+    assert schedule.terminated
+    assert schedule.started == schedule.completed == frozenset(
+        range(program.wgs))
+    assert schedule.pcs == tuple(len(s) for s in program.scripts)
+    # 2 rounds x 4 WGs of lock acquisitions, all observed
+    assert schedule.waits_executed == 8
+    # final memory: the critical-section counter reached 8, lock free
+    assert schedule.counters == (8,)
+    assert schedule.locks == (0,)
+
+
+def test_registry_resolves_litmus_names():
+    from repro.workloads.registry import BENCHMARKS, get_spec
+
+    spec = get_spec("LIT_HANDOFF")
+    assert spec.category == "litmus"
+    assert spec.abbrev == "LIT_HANDOFF"
+    # canonical names resolve too
+    assert get_spec(get_litmus("LIT_HANDOFF").name).full_name == \
+        get_litmus("LIT_HANDOFF").name
+    # but litmus programs never leak into the benchmark table
+    assert not any(name.startswith("LIT_") for name in BENCHMARKS)
+
+
+def test_registry_builds_litmus_kernel():
+    from repro.gpu.gpu import GPU
+    from repro.litmus.oracle import litmus_config
+    from repro.workloads.registry import build_benchmark
+
+    program = get_litmus("LIT_PRODCONS")
+    gpu = GPU(litmus_config(program, seed=1), awg())
+    kernel = build_benchmark("LIT_PRODCONS", gpu)
+    gpu.launch(kernel)
+    assert gpu.run().ok
+
+
+def test_unknown_litmus_name_raises():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        get_litmus("LIT_NOPE")

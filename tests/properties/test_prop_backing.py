@@ -11,7 +11,7 @@ i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
 
 
 @given(st.lists(st.tuples(st.integers(0, 63), i32), max_size=50))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_store_reads_last_write(writes):
     store = BackingStore()
     base = store.alloc(64 * 4)
@@ -24,7 +24,7 @@ def test_store_reads_last_write(writes):
 
 
 @given(i32, i32)
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 def test_add_matches_twos_complement(a, b):
     store = BackingStore()
     addr = store.alloc(4)
@@ -37,7 +37,7 @@ def test_add_matches_twos_complement(a, b):
 
 @given(st.lists(st.sampled_from(list(AtomicOp)), max_size=30),
        st.lists(i32, min_size=30, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_atomic_sequence_matches_reference_model(ops, operands):
     """Run a random atomic sequence against a pure-Python reference."""
     store = BackingStore()
@@ -70,7 +70,7 @@ def test_atomic_sequence_matches_reference_model(ops, operands):
 
 
 @given(st.integers(1, 64), st.sampled_from([4, 8, 16, 32, 64, 128]))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_alloc_alignment_and_disjointness(nwords, align):
     store = BackingStore()
     a = store.alloc(nwords * 4, align=align)

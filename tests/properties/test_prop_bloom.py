@@ -14,7 +14,7 @@ def fresh(seed=1):
 
 
 @given(st.lists(values, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_no_false_negatives(inserted):
     f = fresh()
     for v in inserted:
@@ -23,7 +23,7 @@ def test_no_false_negatives(inserted):
 
 
 @given(st.lists(values, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_distinct_estimate_bounded_by_true_distinct(inserted):
     """False positives can only UNDER-estimate distinct count."""
     f = fresh()
@@ -33,7 +33,7 @@ def test_distinct_estimate_bounded_by_true_distinct(inserted):
 
 
 @given(st.lists(values, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_reset_restores_empty_state(inserted):
     f = fresh()
     for v in inserted:
@@ -44,7 +44,7 @@ def test_reset_restores_empty_state(inserted):
 
 
 @given(st.lists(values, min_size=1, max_size=20), st.integers(0, 19))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_remove_preserves_others(inserted, idx):
     f = fresh()
     distinct = list(dict.fromkeys(inserted))
@@ -58,7 +58,7 @@ def test_remove_preserves_others(inserted, idx):
 
 
 @given(st.lists(values, max_size=40))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_counters_never_negative(ops):
     f = fresh()
     for i, v in enumerate(ops):

@@ -15,7 +15,7 @@ def make_cache(assoc, sets):
 
 @given(st.lists(addrs, max_size=200), st.sampled_from([1, 2, 4]),
        st.sampled_from([2, 4, 8]))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_occupancy_never_exceeds_capacity(seq, assoc, sets):
     c = make_cache(assoc, sets)
     for a in seq:
@@ -26,7 +26,7 @@ def test_occupancy_never_exceeds_capacity(seq, assoc, sets):
 
 
 @given(st.lists(addrs, max_size=100))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_repeat_access_always_hits(seq):
     c = make_cache(4, 8)
     for a in seq:
@@ -35,7 +35,7 @@ def test_repeat_access_always_hits(seq):
 
 
 @given(st.lists(addrs, max_size=100))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_hits_plus_misses_equals_accesses(seq):
     c = make_cache(2, 4)
     for a in seq:
@@ -44,7 +44,7 @@ def test_hits_plus_misses_equals_accesses(seq):
 
 
 @given(st.lists(addrs, min_size=1, max_size=50))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_monitored_lines_survive_any_traffic(seq):
     c = make_cache(2, 2)
     pinned = seq[0]

@@ -8,7 +8,7 @@ from repro.sim.resources import FifoResource
 
 
 @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_events_fire_in_nondecreasing_time(delays):
     env = Engine()
     fired = []
@@ -22,7 +22,7 @@ def test_events_fire_in_nondecreasing_time(delays):
 
 @given(st.lists(st.integers(1, 100), min_size=1, max_size=30),
        st.integers(1, 4))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_fifo_resource_conservation(services, slots):
     """Total elapsed time >= total service / slots; all requests served
     in submission order per completion of equal-length groups."""
@@ -37,7 +37,7 @@ def test_fifo_resource_conservation(services, slots):
 
 
 @given(st.lists(st.integers(1, 50), min_size=2, max_size=20))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_single_slot_fifo_completion_order(services):
     env = Engine()
     res = FifoResource(env, "r")
@@ -51,7 +51,7 @@ def test_single_slot_fifo_completion_order(services):
 
 @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 500)),
                 min_size=1, max_size=25))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_nested_scheduling_from_callbacks(pairs):
     """Callbacks that schedule further events preserve clock monotonicity."""
     env = Engine()

@@ -29,7 +29,7 @@ def build_mutex(kind, gpu, wgs):
     iterations=st.integers(1, 3),
     work=st.lists(st.integers(0, 500), min_size=8, max_size=8),
 )
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_no_lost_updates(policy, kind, wgs, iterations, work):
     gpu = make_gpu(policy(), num_cus=2, max_wgs_per_cu=4)
     mutex = build_mutex(kind, gpu, wgs)
@@ -57,7 +57,7 @@ def test_no_lost_updates(policy, kind, wgs, iterations, work):
     group_size=st.integers(2, 4),
     episodes=st.integers(1, 3),
 )
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_barrier_never_loses_a_wg(policy, groups, group_size, episodes):
     wgs = groups * group_size
     gpu = make_gpu(policy(), num_cus=2, max_wgs_per_cu=max(4, wgs // 2 + 1))

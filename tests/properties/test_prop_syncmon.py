@@ -51,7 +51,7 @@ def build_syncmon():
 
 
 @given(ops)
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_syncmon_agrees_with_reference_model(sequence):
     sm, resumed = build_syncmon()
     # reference: (addr, value) -> ordered waiter list; addr -> last value
@@ -91,7 +91,7 @@ def test_syncmon_agrees_with_reference_model(sequence):
 
 
 @given(ops)
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_monitored_bits_match_live_conditions(sequence):
     sm, _resumed = build_syncmon()
     mem = {a: 0 for a in ADDRS}

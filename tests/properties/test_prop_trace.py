@@ -62,7 +62,7 @@ def wg_spans(trace):
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=12, deadline=None)
+@settings(max_examples=12)
 def test_spans_never_overlap_per_wg(bench, policy, seed):
     result = traced_run(bench, policy, seed)
     for track, lst in wg_spans(result.trace).items():
@@ -74,7 +74,7 @@ def test_spans_never_overlap_per_wg(bench, policy, seed):
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=12, deadline=None)
+@settings(max_examples=12)
 def test_running_spans_are_explained(bench, policy, seed):
     """Every RUNNING span begins at a dispatcher dispatch/swap-in
     instant, or directly follows a STALLED span (in-place wakeup of a
@@ -104,7 +104,7 @@ def test_running_spans_are_explained(bench, policy, seed):
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=8)
 def test_trace_is_deterministic(bench, policy, seed):
     first = traced_run(bench, policy, seed)
     second = traced_run(bench, policy, seed)
@@ -114,7 +114,7 @@ def test_trace_is_deterministic(bench, policy, seed):
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=8)
 def test_tracing_never_perturbs_the_simulation(bench, policy, seed):
     traced = traced_run(bench, policy, seed)
     plain = run_benchmark(
@@ -131,14 +131,14 @@ def test_tracing_never_perturbs_the_simulation(bench, policy, seed):
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=6, deadline=None)
+@settings(max_examples=6)
 def test_export_is_schema_valid(bench, policy, seed):
     result = traced_run(bench, policy, seed)
     assert validate_chrome_trace(result.trace) == []
 
 
 @given(benchmarks, policies, seeds)
-@settings(max_examples=6, deadline=None)
+@settings(max_examples=6)
 def test_wg_category_matches_live_state_trace(bench, policy, seed):
     """The offline transition list recovered from the export equals the
     live GPU view (same tracer, two consumers)."""
