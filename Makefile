@@ -19,6 +19,10 @@
 #   make litmus-smoke  seeded litmus corpus + generated programs vs the
 #                      golden policy set; violating runs drop shrunken
 #                      repro bundles into .litmus-bundles/
+#   make durability-smoke  crash-state enumeration over the durable
+#                      subsystems (cache/manifest/fabric) + a seeded
+#                      bit-reproducible fault campaign, golden-gated;
+#                      failing crash states land in .durability-repro/
 #   make clean-cache   drop the on-disk result cache
 #
 # Knobs: REPRO_JOBS (worker processes), REPRO_NO_CACHE=1,
@@ -32,7 +36,8 @@ export PYTHONPATH := src
 
 .PHONY: test lint analyze analyze-golden bench bench-smoke bench-json \
 	bench-json-smoke faults-smoke trace-smoke recovery-smoke \
-	fabric-smoke litmus-smoke clean-cache
+	fabric-smoke litmus-smoke durability-smoke durability-golden \
+	clean-cache
 
 test:
 	$(PY) -m pytest -x -q
@@ -75,6 +80,14 @@ fabric-smoke:
 
 litmus-smoke:
 	$(PY) -m repro litmus run --smoke --seed 1 --bundles .litmus-bundles --shrink
+
+durability-smoke:
+	$(PY) -m repro durability --smoke --seed 1 \
+		--golden tests/golden/durability/smoke.json
+
+durability-golden:
+	$(PY) -m repro durability --smoke --seed 1 \
+		--write-golden tests/golden/durability/smoke.json
 
 clean-cache:
 	$(PY) -m repro.cli cache --clear

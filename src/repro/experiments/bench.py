@@ -313,6 +313,77 @@ def _run_fabric_scale(smoke: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------
+# part 5: durability-gateway overhead (disarmed interposition cost)
+# ---------------------------------------------------------------------
+
+def _time_atomic_writes(write_one: Callable[[Path, str], None],
+                        root: Path, text: str, count: int) -> float:
+    start = perf_counter()
+    for i in range(count):
+        write_one(root / f"entry-{i % 8}.json", text)
+    return perf_counter() - start
+
+
+def _raw_atomic_write(path: Path, text: str) -> None:
+    """The pre-gateway discipline, inlined: the honest baseline."""
+    tmp = path.with_name(f".{path.name}.tmp")
+    fd = os.open(tmp, os.O_CREAT | os.O_TRUNC | os.O_WRONLY)
+    try:
+        os.write(fd, text.encode())
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+
+
+def _run_durability_overhead(smoke: bool) -> Dict[str, Any]:
+    """Disarmed-gateway cost on the atomic-write discipline every
+    durable store uses. Each ``v*`` op is one ``is None`` check over
+    the raw ``os`` call, and the loop is fsync-bound anyway, so the
+    honest expectation is ~1.00×; the row exists so the trajectory
+    would catch the gateway ever growing a real disarmed cost. The
+    engine micro suite (part 1) does no I/O at all — the gate over its
+    ratios is the ≤2% proof for the simulation hot path. Recorded,
+    never gated (wall-clock I/O on shared runners is noisy)."""
+    import shutil
+    import tempfile
+
+    from repro.durability import vfs
+
+    assert vfs.current_gateway() is None, "bench must run disarmed"
+    count = 150 if smoke else 600
+    text = json.dumps({"result": {"cycles": 123456, "stats":
+                                  {f"k{i}": i * 0.5 for i in range(40)}},
+                       "digest": "d" * 64}, sort_keys=True)
+    best: Dict[str, float] = {}
+    for _ in range(3):
+        scratch = Path(tempfile.mkdtemp(prefix="repro-bench-durability-"))
+        _prepare_overhead_dirs(scratch)
+        try:
+            raw = _time_atomic_writes(_raw_atomic_write,
+                                      scratch / "raw", text, count)
+            gated = _time_atomic_writes(
+                lambda p, t: vfs.write_atomic_text(p, t),
+                scratch / "vfs", text, count)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        best["raw"] = min(best.get("raw", raw), raw)
+        best["gateway"] = min(best.get("gateway", gated), gated)
+    return {
+        "writes": count,
+        "payload_bytes": len(text),
+        "raw_os_seconds": round(best["raw"], 4),
+        "gateway_disarmed_seconds": round(best["gateway"], 4),
+        "overhead_ratio": round(best["gateway"] / best["raw"], 3),
+    }
+
+
+def _prepare_overhead_dirs(root: Path) -> None:
+    (root / "raw").mkdir(parents=True, exist_ok=True)
+    (root / "vfs").mkdir(parents=True, exist_ok=True)
+
+
+# ---------------------------------------------------------------------
 # document assembly, trajectory, regression gate
 # ---------------------------------------------------------------------
 
@@ -429,6 +500,7 @@ def run_bench(
     workloads = _run_workloads(scenario, repeats=3 if smoke else 2)
     fig7_result = _run_fig7(smoke)
     fabric_result = _run_fabric_scale(smoke)
+    durability_result = _run_durability_overhead(smoke)
 
     doc: Dict[str, Any] = {
         "schema": 1,
@@ -441,6 +513,7 @@ def run_bench(
             "workloads": workloads,
             "fig7": fig7_result,
             "fabric": fabric_result,
+            "durability": durability_result,
         },
         "headline": _headline(micro, workloads),
     }
@@ -501,6 +574,16 @@ def render(doc: Dict[str, Any]) -> str:
                 f"  workers={workers:<3} {e['wall_seconds']:>7.1f}s wall"
                 f"  speedup {e['speedup_vs_single']:.2f}x vs jobs=1"
             )
+    dur = doc["suite"].get("durability")
+    if dur:
+        lines.append("")
+        lines.append(
+            f"durability gateway, disarmed [{dur['writes']} atomic "
+            f"writes of {dur['payload_bytes']}B]: raw os "
+            f"{dur['raw_os_seconds']:.3f}s, gateway "
+            f"{dur['gateway_disarmed_seconds']:.3f}s, overhead "
+            f"{dur['overhead_ratio']:.2f}x (recorded, never gated)"
+        )
     head = doc["headline"]
     lines.append("")
     lines.append(

@@ -23,15 +23,18 @@ Environment knobs:
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import shutil
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.durability import vfs
 from repro.errors import ConfigError
 from repro.experiments.runner import RunResult
 
@@ -162,6 +165,12 @@ class ResultCache:
         self.healed = 0
         #: puts skipped because another live writer held the key's claim
         self.contended = 0
+        #: puts dropped by the graceful-degradation policy
+        self.dropped = 0
+        #: persistent ENOSPC flipped the cache to read-through: gets
+        #: still serve, puts are dropped — a full disk must never kill
+        #: the sweep that was merely trying to memoize itself
+        self.degraded = False
 
     # -- keys ----------------------------------------------------------
     def key_for(self, spec: Dict[str, Any]) -> str:
@@ -195,8 +204,9 @@ class ResultCache:
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
             self.healed += 1
+            vfs.incr_stat("durability.cache.healed")
             try:
-                path.unlink()
+                vfs.vunlink(path, missing_ok=True)
             except OSError:
                 pass
             return None
@@ -214,38 +224,75 @@ class ResultCache:
         and writes; everyone else skips the put entirely — entries are
         content-addressed, so a rival's bytes are identical and writing
         them again buys nothing but rename traffic. A claim left behind
-        by a dead writer is broken after ``_CLAIM_TTL`` seconds."""
+        by a dead writer is broken after ``_CLAIM_TTL`` seconds.
+
+        Failure policy: the cache is an accelerator, not ground truth.
+        A put that still fails after the bounded retries of
+        :func:`repro.durability.vfs.write_atomic_text` is *dropped*
+        (warned + counted), and persistent ENOSPC flips the instance to
+        read-through ``degraded`` mode. No temp file survives any
+        failure path — serialization happens before the first file
+        operation, and the atomic writer owns its temp's lifetime."""
         if result.gpu is not None:
             raise ConfigError(
                 "refusing to cache a RunResult holding a GPU object; "
                 "run with keep_gpu=False"
             )
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        claim = path.with_name(f".{path.name}.claim")
-        if not self._take_claim(claim):
-            self.contended += 1
+        if self.degraded:
+            self.dropped += 1
+            vfs.incr_stat("durability.cache.put_dropped")
             return
+        # serialize before touching the filesystem: a payload that
+        # cannot serialize must not cost (or leak) a temp file
         body = result_to_payload(result)
         document = {
             "result": body,
             "key": key,
             "digest": payload_digest(body),
         }
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        text = json.dumps(document, sort_keys=True, default=str)
+        path = self._path(key)
+        claim = path.with_name(f".{path.name}.claim")
         try:
-            try:
-                with open(tmp, "w") as fh:
-                    fh.write(json.dumps(document, sort_keys=True))
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                tmp.replace(path)
-            except BaseException:
-                tmp.unlink(missing_ok=True)
-                raise
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._take_claim(claim):
+                self.contended += 1
+                return
+        except OSError as exc:
+            self._degrade_on(exc, key)
+            return
+        try:
+            vfs.write_atomic_text(path, text)
+        except OSError as exc:
+            self._degrade_on(exc, key)
+            return
         finally:
-            claim.unlink(missing_ok=True)
+            try:
+                vfs.vunlink(claim, missing_ok=True)
+            except OSError:
+                # a stranded claim self-breaks after _CLAIM_TTL; do not
+                # let its cleanup mask the put's own outcome
+                vfs.incr_stat("durability.cache.claim_cleanup_errors")
         self.stores += 1
+
+    def _degrade_on(self, exc: OSError, key: str) -> None:
+        """Apply the put-failure policy: drop the put; persistent
+        ENOSPC additionally flips read-through mode."""
+        self.dropped += 1
+        vfs.incr_stat("durability.cache.put_dropped")
+        if exc.errno == errno.ENOSPC:
+            self.degraded = True
+            vfs.incr_stat("durability.cache.degraded")
+            warnings.warn(
+                f"result cache out of space storing {key[:12]}…; "
+                f"degrading to read-through (further puts dropped)",
+                RuntimeWarning, stacklevel=3)
+        else:
+            vfs.incr_stat("durability.cache.put_errors")
+            warnings.warn(
+                f"result cache put of {key[:12]}… failed after retries "
+                f"({exc}); entry dropped, sweep continues",
+                RuntimeWarning, stacklevel=3)
 
     @staticmethod
     def _take_claim(claim: Path) -> bool:
@@ -254,7 +301,7 @@ class ResultCache:
         claim (dead writer) is broken and the attempt retried."""
         while True:
             try:
-                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                fd = vfs.vopen(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 try:
                     age = time.time() - claim.stat().st_mtime
@@ -262,9 +309,9 @@ class ResultCache:
                     continue  # claim vanished between open and stat
                 if age <= _CLAIM_TTL:
                     return False
-                claim.unlink(missing_ok=True)
+                vfs.vunlink(claim, missing_ok=True)
                 continue
-            os.close(fd)
+            vfs.vclose(fd)
             return True
 
     # -- maintenance ---------------------------------------------------

@@ -837,6 +837,13 @@ def run_matrix(
         elif failure is not None and bundle_path is not None:
             _emit_bundle(bundle_path, req, failure)
 
+    # The whole execute-and-settle span is covered by one flush-on-exit
+    # wrapper: *any* exception — from the cells, the signal plumbing, or
+    # the settling loop after the pool drained — leaves the manifest
+    # flushed with every completed cell, so the next run resumes there
+    # instead of re-simulating. (flush() itself degrades to a warning on
+    # I/O failure; a dying disk must not turn a clean SIGINT into a
+    # lost checkpoint AND a secondary traceback.)
     pool_holder: Dict[str, Any] = {}
     try:
         with _SweepSignals(pool_holder, ckpt):
@@ -844,23 +851,24 @@ def run_matrix(
                                   retries, retry_backoff,
                                   on_outcome=on_outcome,
                                   pool_holder=pool_holder)
+
+        for (key, _ck, req, indices), (result, failure) in zip(pending,
+                                                               outcomes):
+            for position, index in enumerate(indices):
+                if result is not None and position > 0:
+                    # duplicates get their own stats dict so one consumer
+                    # mutating it cannot corrupt another's view
+                    cells[index] = Cell(req, result=replace(
+                        result, stats=dict(result.stats)))
+                else:
+                    cells[index] = Cell(req, result=result, failure=failure)
+
+        if ckpt is not None:
+            ckpt.complete()
     except BaseException:
         if ckpt is not None:
             ckpt.flush(force=True)
         raise
-
-    for (key, _ck, req, indices), (result, failure) in zip(pending, outcomes):
-        for position, index in enumerate(indices):
-            if result is not None and position > 0:
-                # duplicates get their own stats dict so one consumer
-                # mutating it cannot corrupt another's view
-                cells[index] = Cell(req, result=replace(
-                    result, stats=dict(result.stats)))
-            else:
-                cells[index] = Cell(req, result=result, failure=failure)
-
-    if ckpt is not None:
-        ckpt.complete()
 
     return MatrixResult(
         [c for c in cells if c is not None],

@@ -37,6 +37,7 @@ only transport, which is what makes workers remote-ready):
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import threading
@@ -44,6 +45,9 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.durability import vfs
+from repro.errors import ConfigError
 
 #: bump when the lease-record layout changes (versioned like the
 #: repro-bundle schema); readers ignore records from other versions
@@ -55,6 +59,9 @@ SWEEP_VERSION = 1
 #: fabric root override (default: ``<checkpoint dir>/fabric``)
 FABRIC_DIR_ENV = "REPRO_FABRIC_DIR"
 
+#: mtime slop tolerated before declaring a lease expired (seconds)
+FABRIC_SKEW_ENV = "REPRO_FABRIC_SKEW"
+
 
 def default_fabric_root() -> Path:
     env = os.environ.get(FABRIC_DIR_ENV)
@@ -65,19 +72,35 @@ def default_fabric_root() -> Path:
     return default_checkpoint_dir() / "fabric"
 
 
-def _write_atomic_json(path: Path, document: Dict[str, Any]) -> None:
-    """temp file + fsync + rename, same discipline as the manifest."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+def fabric_skew_slop() -> float:
+    """Extra lease age tolerated beyond the TTL before expiry.
+
+    Heartbeats are mtimes on a shared filesystem: coarse timestamp
+    granularity (1-2s on some NFS/FAT stacks) and clock skew between
+    the stat()-ing coordinator and the utime()-ing worker both make a
+    live lease *look* older than it is. Stealing a live lease is the
+    one protocol error that can double-execute a cell, so expiry errs
+    late by this slop. Default 0.25s — far below the chaos drill's
+    stall margin (TTL 1s, stalls 2.5s), far above same-box clock
+    noise; raise it via ``REPRO_FABRIC_SKEW`` on skewed fleets."""
+    env = os.environ.get(FABRIC_SKEW_ENV)
+    if not env:
+        return 0.25
     try:
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(document, sort_keys=True))
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+        slop = float(env)
+    except ValueError:
+        raise ConfigError(
+            f"{FABRIC_SKEW_ENV} must be a number of seconds, got {env!r}")
+    return max(0.0, slop)
+
+
+def _write_atomic_json(path: Path, document: Dict[str, Any]) -> None:
+    """temp file + fsync + rename through the durability gateway, same
+    discipline as the manifest (serialize first, bounded retries on
+    transient faults, temp never leaked)."""
+    text = json.dumps(document, sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    vfs.write_atomic_text(path, text)
 
 
 def read_json_tolerant(path: Path) -> Optional[Dict[str, Any]]:
@@ -109,13 +132,13 @@ class Lease:
 
     def heartbeat(self) -> None:
         try:
-            os.utime(self.fd)
+            vfs.vutime(self.fd)
         except OSError:
             pass
 
     def close(self) -> None:
         try:
-            os.close(self.fd)
+            vfs.vclose(self.fd)
         except OSError:
             pass
 
@@ -188,7 +211,7 @@ class FabricDir:
         path = self.lease_path(key)
         token = f"{worker}:{os.getpid()}:{time.monotonic_ns()}"
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
+            fd = vfs.vopen(path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
         except FileExistsError:
             return None
         record = {
@@ -201,8 +224,11 @@ class FabricDir:
             "ttl": ttl,
         }
         try:
-            os.write(fd, json.dumps(record, sort_keys=True).encode())
-            os.fsync(fd)
+            data = json.dumps(record, sort_keys=True).encode()
+            offset = 0
+            while offset < len(data):
+                offset += vfs.vwrite(fd, data[offset:])
+            vfs.vfsync(fd)
         except OSError:
             pass  # a torn record still expires by mtime
         return Lease(key=key, worker=worker, token=token, ttl=ttl,
@@ -225,6 +251,10 @@ class FabricDir:
             return None
 
     def lease_expired(self, key: str, default_ttl: float) -> bool:
+        """True once the lease's heartbeat age exceeds TTL *plus* the
+        :func:`fabric_skew_slop` — coarse mtime granularity and clock
+        skew between hosts must never get a live lease stolen (a steal
+        of a live lease is the one path to double execution)."""
         age = self.lease_age(key)
         if age is None:
             return False
@@ -232,7 +262,7 @@ class FabricDir:
         ttl = default_ttl
         if record is not None and isinstance(record.get("ttl"), (int, float)):
             ttl = float(record["ttl"])
-        return age > ttl
+        return age > ttl + fabric_skew_slop()
 
     def owns(self, lease: Lease) -> bool:
         record = self.read_lease(lease.key)
@@ -244,7 +274,7 @@ class FabricDir:
         removed = False
         if self.owns(lease):
             try:
-                lease.path.unlink()
+                vfs.vunlink(lease.path)
                 removed = True
             except OSError:
                 pass
@@ -256,7 +286,7 @@ class FabricDir:
         Unlink is atomic: when several parties race, exactly one
         observes the removal. Coordinator-only by protocol."""
         try:
-            self.lease_path(key).unlink()
+            vfs.vunlink(self.lease_path(key))
             return True
         except OSError:
             return False
@@ -288,19 +318,50 @@ class FabricDir:
             return False
         document = {"result": payload, "key": key,
                     "digest": payload_digest(payload)}
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        data = json.dumps(document, sort_keys=True).encode()
+        if vfs.current_gateway() is not None:
+            tmp = path.with_name(f".{path.name}.tmp")
+        else:
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        retries = vfs.resolve_io_retries()
+        backoff = vfs.resolve_io_backoff()
+        attempt = 0
         try:
-            with open(tmp, "w") as fh:
-                fh.write(json.dumps(document, sort_keys=True))
-                fh.flush()
-                os.fsync(fh.fileno())
+            while True:
+                try:
+                    fd = vfs.vopen(tmp,
+                                   os.O_CREAT | os.O_TRUNC | os.O_WRONLY)
+                    try:
+                        offset = 0
+                        while offset < len(data):
+                            offset += vfs.vwrite(fd, data[offset:])
+                        vfs.vfsync(fd)
+                    finally:
+                        vfs.vclose(fd)
+                    break
+                except OSError as exc:
+                    # transient faults get the bounded-retry treatment
+                    # of write_atomic_text: losing a commit to one EIO
+                    # would burn the whole cell's simulation time
+                    if (exc.errno not in (errno.EINTR, errno.EIO)
+                            or attempt >= retries):
+                        raise
+                    attempt += 1
+                    vfs.incr_stat(
+                        "durability.retry."
+                        + ("eintr" if exc.errno == errno.EINTR else "eio"))
+                    if backoff:
+                        time.sleep(backoff * (2 ** (attempt - 1)))
             try:
-                os.link(tmp, path)
+                vfs.vlink(tmp, path)
                 return True
             except FileExistsError:
                 return False
         finally:
-            tmp.unlink(missing_ok=True)
+            try:
+                vfs.vunlink(tmp, missing_ok=True)
+            except OSError:
+                vfs.incr_stat("durability.fabric.tmp_cleanup_errors")
 
     def read_result(self, key: str) -> Optional[Dict[str, Any]]:
         """The committed document (caller verifies the digest)."""
@@ -354,14 +415,9 @@ class FabricDir:
         record = dict(fields, ev=event, t=round(time.time(), 6))
         line = json.dumps(record, sort_keys=True) + "\n"
         try:
-            fd = os.open(self.events_path, os.O_CREAT | os.O_APPEND
-                         | os.O_WRONLY, 0o644)
-            try:
-                os.write(fd, line.encode())
-            finally:
-                os.close(fd)
+            vfs.append_text(self.events_path, line)
         except OSError:
-            pass
+            pass  # journals are observability, never worth a crash
 
     def read_events(self, offset: int = 0) -> Tuple[int, List[Dict[str, Any]]]:
         """Events appended since ``offset``; returns (new_offset, events).
@@ -392,12 +448,7 @@ class FabricDir:
     def append_commit(self, key: str, worker: str) -> None:
         line = f"{key}\t{worker}\t{os.getpid()}\n"
         try:
-            fd = os.open(self.commits_path, os.O_CREAT | os.O_APPEND
-                         | os.O_WRONLY, 0o644)
-            try:
-                os.write(fd, line.encode())
-            finally:
-                os.close(fd)
+            vfs.append_text(self.commits_path, line)
         except OSError:
             pass
 

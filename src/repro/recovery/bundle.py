@@ -44,6 +44,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.durability import vfs
 from repro.errors import ConfigError, ReproError
 from repro.experiments.cache import code_fingerprint, result_to_payload
 from repro.gpu.diagnostics import diagnosis_signature
@@ -172,22 +173,15 @@ def bundle_name(bundle: Dict[str, Any]) -> str:
 
 def write_bundle(bundle: Dict[str, Any],
                  out_dir: os.PathLike) -> Path:
-    """Atomically persist one bundle; returns its path."""
+    """Atomically persist one bundle (serialized before the first file
+    operation, written through the durability gateway with bounded
+    retries on transient I/O faults); returns its path."""
     validate_bundle(bundle)
+    text = json.dumps(bundle, indent=2, sort_keys=True, default=str)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / bundle_name(bundle)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    try:
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(bundle, indent=2, sort_keys=True,
-                                default=str))
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+    vfs.write_atomic_text(path, text)
     return path
 
 

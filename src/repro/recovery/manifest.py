@@ -32,9 +32,11 @@ import json
 import os
 import sys
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.durability import vfs
 from repro.errors import ConfigError
 from repro.experiments.cache import (
     code_fingerprint, default_cache_dir, payload_digest,
@@ -118,6 +120,8 @@ class SweepCheckpoint:
         self.extra: Dict[str, Any] = {}
         #: how many completed cells were adopted from a previous run
         self.resumed = 0
+        #: flushes that failed (degraded to warnings) — see :meth:`flush`
+        self.flush_failures = 0
         self.created_at = time.time()
         self._dirty = False
         #: monotonic time of the last flush; None = never flushed, so the
@@ -182,7 +186,7 @@ class SweepCheckpoint:
     def _discard(self, reason: str) -> None:
         self.discarded = reason
         try:
-            self.path.unlink()
+            vfs.vunlink(self.path, missing_ok=True)
         except OSError:
             pass
 
@@ -248,7 +252,15 @@ class SweepCheckpoint:
 
         Unforced flushes are throttled to one per ``flush_interval``
         seconds (0 = every call) so huge sweeps with heavy payloads do
-        not spend their time re-serializing the manifest."""
+        not spend their time re-serializing the manifest.
+
+        Failure policy: a flush that still fails after the bounded
+        retries of :func:`repro.durability.vfs.write_atomic_text`
+        *degrades to a warning* instead of killing the sweep — the
+        checkpoint is a recovery accelerator, and losing one flush only
+        means a crash would re-simulate a few more cells. The manifest
+        stays dirty so the next flush (or the forced final one) retries
+        from the current state; ``flush_failures`` counts the misses."""
         if not self._dirty:
             return False
         now = time.monotonic()
@@ -256,17 +268,18 @@ class SweepCheckpoint:
                 and self._last_flush is not None
                 and now - self._last_flush < self.flush_interval):
             return False
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        text = json.dumps(self.document(), sort_keys=True, default=str)
         try:
-            with open(tmp, "w") as fh:
-                fh.write(json.dumps(self.document(), sort_keys=True))
-                fh.flush()
-                os.fsync(fh.fileno())
-            tmp.replace(self.path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            vfs.write_atomic_text(self.path, text)
+        except OSError as exc:
+            self.flush_failures += 1
+            vfs.incr_stat("durability.manifest.flush_failures")
+            warnings.warn(
+                f"checkpoint manifest flush to {self.path} failed after "
+                f"retries ({exc}); sweep continues, will retry on the "
+                f"next flush", RuntimeWarning, stacklevel=2)
+            return False
         self._dirty = False
         self._last_flush = now
         return True
@@ -277,7 +290,7 @@ class SweepCheckpoint:
         state so the next run picks up exactly here."""
         if self.done:
             try:
-                self.path.unlink()
+                vfs.vunlink(self.path, missing_ok=True)
             except OSError:
                 pass
             self._dirty = False

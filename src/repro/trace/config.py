@@ -19,6 +19,7 @@ CATEGORIES: Tuple[str, ...] = (
     "mem",       # memory-op counts (counts only; no per-op ring events)
     "engine",    # scheduler health: peak pending, lane hit ratio, compactions
     "fabric",    # sweep fleet: lease grants/expiries/steals, worker deaths
+    "durability",  # I/O degradation: retries, dropped puts, flush failures
 )
 
 

@@ -1,0 +1,193 @@
+"""Tests for the crash-state enumerator (repro.durability.crashstates)."""
+
+import json
+
+import pytest
+
+from repro.durability import vfs
+from repro.durability.crashstates import (
+    CrashState, check_state_legal, enumerate_crash_states, materialize,
+)
+from repro.durability.vfs import (
+    armed, named_durability_plan, write_atomic_text,
+)
+
+
+def _atomic_write_log(tmp_path, plan=None, text="durable-payload"):
+    with armed(tmp_path, plan=plan) as gw:
+        write_atomic_text(tmp_path / "entry.json", text)
+    return gw.log
+
+
+# -- enumeration over the atomic-write protocol -------------------------
+
+def test_honest_fsync_protects_the_renamed_entry(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    states = enumerate_crash_states(log)
+    finals = [s for s in states if s.crash_point == len(log)]
+    assert finals
+    for state in finals:
+        files = state.file_dict
+        if "entry.json" in files:
+            # the fsync barrier ran before the rename: whenever the
+            # entry exists, its content is complete — never torn
+            assert files["entry.json"] == b"durable-payload"
+    # and at least one final state has the committed entry
+    assert any("entry.json" in s.file_dict for s in finals)
+
+
+def test_rename_not_landed_image_exists(tmp_path):
+    """Some legal state shows the commit point not taken: the fsynced
+    temp file present, the destination absent."""
+    log = _atomic_write_log(tmp_path)
+    states = enumerate_crash_states(log)
+    uncommitted = [s for s in states
+                   if ".entry.json.tmp" in s.file_dict
+                   and "entry.json" not in s.file_dict]
+    assert uncommitted
+    assert any(s.file_dict[".entry.json.tmp"] == b"durable-payload"
+               for s in uncommitted)
+
+
+def test_dropped_rename_states_for_independent_commits(tmp_path):
+    """With two committed files, dropping only the FIRST rename is an
+    image no plain prefix reaches (the second commit already landed) —
+    the ``-rename@k`` provenance must surface it."""
+    with armed(tmp_path) as gw:
+        write_atomic_text(tmp_path / "a.json", "payload-a")
+        write_atomic_text(tmp_path / "b.json", "payload-b")
+    states = enumerate_crash_states(gw.log)
+    dropped = [s for s in states if "-rename@" in s.description]
+    assert dropped
+    lost_first = [s for s in dropped
+                  if "b.json" in s.file_dict
+                  and "a.json" not in s.file_dict]
+    assert lost_first
+    for state in lost_first:
+        assert state.file_dict[".a.json.tmp"] == b"payload-a"
+        assert check_state_legal(gw.log, state) == []
+
+
+def test_liar_fsync_exposes_the_corrupt_destination(tmp_path):
+    """The classic rename-before-durable hole: with a lying fsync the
+    rename can land while the data pages are lost, so some legal state
+    has the destination file present but empty/torn."""
+    log = _atomic_write_log(tmp_path, plan=named_durability_plan(
+        "liar-fsync"))
+    states = enumerate_crash_states(log)
+    corrupt = [s for s in states
+               if s.file_dict.get("entry.json", None) is not None
+               and s.file_dict["entry.json"] != b"durable-payload"]
+    assert corrupt, "liar-fsync must reach a corrupt committed entry"
+    # ... and every one of those states is still LEGAL under the model
+    for state in corrupt:
+        assert check_state_legal(log, state) == []
+
+
+def test_every_enumerated_state_is_legal(tmp_path):
+    for plan_name in (None, "liar-fsync", "io-chaos"):
+        plan = named_durability_plan(plan_name) if plan_name else None
+        root = tmp_path / (plan_name or "calm")
+        root.mkdir()
+        with armed(root, plan=plan) as gw:
+            for i in range(3):
+                try:
+                    write_atomic_text(root / f"f{i}.json", f"payload{i}")
+                except OSError:
+                    pass
+        for state in enumerate_crash_states(gw.log):
+            assert check_state_legal(gw.log, state) == [], state.description
+
+
+def test_enumeration_is_deterministic(tmp_path):
+    log = _atomic_write_log(tmp_path, plan=named_durability_plan(
+        "io-chaos"))
+    first = [s.state_id for s in enumerate_crash_states(log)]
+    second = [s.state_id for s in enumerate_crash_states(log)]
+    assert first == second
+    assert len(first) == len(set(first)), "states are deduplicated"
+
+
+def test_max_states_truncates(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    full = enumerate_crash_states(log)
+    assert len(full) > 2
+    truncated = enumerate_crash_states(log, max_states=2)
+    assert len(truncated) == 2
+    assert [s.state_id for s in truncated] == [
+        s.state_id for s in full[:2]]
+
+
+def test_torn_tail_states_exist_for_unfsynced_writes(tmp_path):
+    with armed(tmp_path) as gw:
+        # a raw write with no fsync at all: fully volatile, tearable
+        import os
+        fd = vfs.vopen(tmp_path / "j.log", os.O_CREAT | os.O_WRONLY)
+        vfs.vwrite(fd, b"0123456789")
+        vfs.vclose(fd)
+    states = enumerate_crash_states(gw.log)
+    torn = [s for s in states if s.torn]
+    assert torn
+    for state in torn:
+        content = state.file_dict["j.log"]
+        assert 0 < len(content) < 10
+        assert b"0123456789".startswith(content)
+
+
+# -- the legality oracle rejects fabricated illegal states --------------
+
+def _fabricate(log, **kw):
+    defaults = dict(state_id="cs-fabricated", description="fabricated",
+                    crash_point=len(log), applied=(), torn=(), files=())
+    defaults.update(kw)
+    return CrashState(**defaults)
+
+
+def test_oracle_rejects_dropping_a_durable_write(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    write_idx = next(r.index for r in log if r.op == "write")
+    applied = tuple(r.index for r in log if r.index != write_idx)
+    state = _fabricate(log, applied=applied)
+    assert any("durable" in v for v in check_state_legal(log, state))
+
+
+def test_oracle_rejects_dropping_journaled_metadata(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    creat_idx = next(r.index for r in log if r.op == "creat")
+    applied = tuple(r.index for r in log if r.index != creat_idx)
+    state = _fabricate(log, applied=applied)
+    assert any("metadata" in v for v in check_state_legal(log, state))
+
+
+def test_oracle_rejects_tearing_across_the_fsync_barrier(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    write_idx = next(r.index for r in log if r.op == "write")
+    state = _fabricate(log, applied=tuple(r.index for r in log),
+                       torn=((write_idx, 3),))
+    violations = check_state_legal(log, state)
+    assert any("durable" in v or "fsync" in v for v in violations)
+
+
+def test_oracle_rejects_applied_ops_beyond_the_crash_point(tmp_path):
+    log = _atomic_write_log(tmp_path)
+    state = _fabricate(log, crash_point=1,
+                       applied=tuple(r.index for r in log))
+    assert any("beyond" in v for v in check_state_legal(log, state))
+
+
+# -- materialization ----------------------------------------------------
+
+def test_materialize_image_and_sidecar(tmp_path):
+    work = tmp_path / "work"
+    work.mkdir()
+    log = _atomic_write_log(work)
+    state = enumerate_crash_states(log)[-1]
+    image = tmp_path / "image"
+    sidecar = tmp_path / "meta" / "crash-state.json"
+    materialize(state, image, sidecar=sidecar)
+    on_disk = {p.relative_to(image).as_posix(): p.read_bytes()
+               for p in image.rglob("*") if p.is_file()}
+    assert on_disk == state.file_dict  # sidecar stays OUT of the image
+    meta = json.loads(sidecar.read_text())
+    assert meta["state_id"] == state.state_id
+    assert meta["crash_point"] == state.crash_point
